@@ -1,0 +1,12 @@
+"""Figure 6: max/avg distinct pages touched per DMA tile fetch."""
+
+from repro.analysis import fig6_page_divergence
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_fig06(benchmark):
+    figure = run_once(benchmark, lambda: fig6_page_divergence(batches=batch_grid()))
+    emit(figure)
+    # Section III-C: multi-MB tiles touch >1K distinct 4 KB pages.
+    assert max(figure.column("max_pages")) > 1000

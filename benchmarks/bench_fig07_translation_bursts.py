@@ -1,0 +1,12 @@
+"""Figure 7: translation-request burst histogram (CNN-1 and RNN-1)."""
+
+from repro.analysis import fig7_translation_bursts
+
+from .common import emit, run_once
+
+
+def bench_fig07(benchmark):
+    figure = run_once(benchmark, fig7_translation_bursts)
+    emit(figure)
+    # The DMA saturates its 1-translation/cycle issue port in long bursts.
+    assert figure.mean("full_rate_frac") > 0.5

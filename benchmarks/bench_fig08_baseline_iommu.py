@@ -1,0 +1,12 @@
+"""Figure 8: the GPU-centric baseline IOMMU collapses on NPU bursts."""
+
+from repro.analysis import fig8_baseline_iommu
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_fig08(benchmark):
+    figure = run_once(benchmark, lambda: fig8_baseline_iommu(batches=batch_grid()))
+    emit(figure)
+    # Paper: ~95% average performance loss vs the oracular MMU.
+    assert figure.mean("normalized_perf") < 0.25

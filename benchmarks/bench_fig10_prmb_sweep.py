@@ -1,0 +1,12 @@
+"""Figure 10: PRMB mergeable-slot sensitivity on the 8-walker baseline."""
+
+from repro.analysis import fig10_prmb_sweep
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_fig10(benchmark):
+    figure = run_once(benchmark, lambda: fig10_prmb_sweep(batches=batch_grid()))
+    emit(figure)
+    # More merge capacity monotonically recovers performance (Figure 10).
+    assert figure.mean("prmb32") >= figure.mean("prmb1")

@@ -1,0 +1,13 @@
+"""Figure 11: throughput-centric walker scaling with PRMB(32)."""
+
+from repro.analysis import fig11_ptw_sweep
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_fig11(benchmark):
+    figure = run_once(benchmark, lambda: fig11_ptw_sweep(batches=batch_grid()))
+    emit(figure)
+    # Paper: 128 walkers close the gap to ~99% of the oracle.
+    assert figure.mean("ptw128") > 0.9
+    assert figure.mean("ptw8") < figure.mean("ptw128")

@@ -1,0 +1,13 @@
+"""Figure 12a: walker scaling *without* PRMB — brute force works but wastes."""
+
+from repro.analysis import fig12a_ptw_no_prmb
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_fig12a(benchmark):
+    figure = run_once(benchmark, lambda: fig12a_ptw_no_prmb(batches=batch_grid()))
+    emit(figure)
+    # Without merging, 128 walkers are not enough; ~1024 are (Figure 12a).
+    assert figure.mean("ptw1024") > figure.mean("ptw128")
+    assert figure.mean("ptw1024") > 0.9

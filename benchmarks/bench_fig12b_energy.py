@@ -1,0 +1,14 @@
+"""Figure 12b: performance/energy across [PRMB slots, walkers] pairs."""
+
+from repro.analysis import fig12b_energy_sweep
+
+from .common import emit, run_once
+
+
+def bench_fig12b(benchmark):
+    figure = run_once(benchmark, fig12b_energy_sweep)
+    emit(figure)
+    nominal = figure.value("[32,128]", "normalized_energy")
+    extreme = figure.value("[1,4096]", "normalized_energy")
+    # Paper: merging-free designs burn up to ~7.1x more translation energy.
+    assert extreme > 3 * nominal

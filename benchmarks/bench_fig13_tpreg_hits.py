@@ -1,0 +1,16 @@
+"""Figure 13: TPreg L4/L3/L2 tag hit rates."""
+
+from repro.analysis import fig13_tpreg_hit_rates
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_fig13(benchmark):
+    figure = run_once(
+        benchmark, lambda: fig13_tpreg_hit_rates(batches=batch_grid())
+    )
+    emit(figure)
+    # Paper: ~99.5% / 99.5% / 63.1% average tag-match rates.
+    assert figure.mean("l4") > 0.95
+    assert figure.mean("l3") > 0.95
+    assert 0.2 < figure.mean("l2") < 0.98

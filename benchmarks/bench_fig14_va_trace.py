@@ -1,0 +1,11 @@
+"""Figure 14: AlexNet's VA regions across consecutive tile fetches."""
+
+from repro.analysis import fig14_va_trace
+
+from .common import emit, run_once
+
+
+def bench_fig14(benchmark):
+    figure = run_once(benchmark, fig14_va_trace)
+    emit(figure)
+    assert figure.rows

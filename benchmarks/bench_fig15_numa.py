@@ -1,0 +1,16 @@
+"""Figure 15: MMU-less CPU-bounce vs NeuMMU-enabled NUMA for embeddings."""
+
+from repro.analysis import fig15_numa
+
+from .common import emit, run_once
+
+
+def bench_fig15(benchmark):
+    figure = run_once(benchmark, fig15_numa)
+    emit(figure)
+    # Fast NUMA must beat slow NUMA must beat the CPU-bounce baseline.
+    for model in ("NCF", "DLRM"):
+        base = figure.value(f"{model}/b64/baseline", "total")
+        slow = figure.value(f"{model}/b64/numa_slow", "total")
+        fast = figure.value(f"{model}/b64/numa_fast", "total")
+        assert fast <= slow <= base

@@ -1,0 +1,18 @@
+"""Figure 16: demand paging at 4 KB vs 2 MB pages, IOMMU vs NeuMMU."""
+
+from repro.analysis import fig16_demand_paging
+
+from .common import emit, run_once
+
+
+def bench_fig16(benchmark):
+    figure = run_once(benchmark, fig16_demand_paging)
+    emit(figure)
+    # Paper: NeuMMU recovers small pages (~96% of oracle); large pages are
+    # catastrophic for sparse access regardless of MMU.
+    neummu_4k = figure.value("DLRM/b08/neummu/4K", "normalized_perf")
+    iommu_4k = figure.value("DLRM/b08/iommu/4K", "normalized_perf")
+    neummu_2m = figure.value("DLRM/b08/neummu/2M", "normalized_perf")
+    assert neummu_4k > 0.85
+    assert iommu_4k < neummu_4k
+    assert neummu_2m < 0.5

@@ -1,0 +1,15 @@
+"""Section IV-D headline: NeuMMU ≈ oracle; IOMMU ≈ 95% loss; big energy/
+walk-traffic savings."""
+
+from repro.analysis import headline_claims
+
+from .common import batch_grid, emit, run_once
+
+
+def bench_headline(benchmark):
+    figure = run_once(benchmark, lambda: headline_claims(batches=batch_grid()))
+    emit(figure)
+    assert figure.mean("neummu_perf") > 0.97
+    assert figure.mean("iommu_perf") < 0.25
+    assert figure.mean("energy_ratio") > 3.0
+    assert figure.mean("walk_access_ratio") > 3.0

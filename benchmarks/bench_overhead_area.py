@@ -1,0 +1,13 @@
+"""Section IV-E: implementation overhead (SRAM, area, leakage)."""
+
+from repro.analysis import overhead_area
+
+from .common import emit, run_once
+
+
+def bench_overhead(benchmark):
+    figure = run_once(benchmark, overhead_area)
+    emit(figure)
+    # Paper's arithmetic: 32 KB PRMB + 2 KB TPreg + 768 B PTS.
+    assert figure.value("PRMB", "kb") == 32.0
+    assert abs(figure.value("total", "area_mm2") - 0.10) < 0.02

@@ -1,0 +1,13 @@
+"""Section VI-B: NeuMMU on a spatial-array (Eyeriss/DaDianNao-like) NPU."""
+
+from repro.analysis import spatial_npu
+
+from .common import emit, run_once
+
+
+def bench_spatial(benchmark):
+    figure = run_once(benchmark, spatial_npu)
+    emit(figure)
+    # Paper: NeuMMU stays within ~2% of the oracle on the spatial design.
+    assert figure.mean("neummu_perf") > 0.95
+    assert figure.mean("iommu_perf") < figure.mean("neummu_perf")

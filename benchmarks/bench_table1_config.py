@@ -1,0 +1,11 @@
+"""Table I: baseline configuration dump (sanity anchor for every bench)."""
+
+from repro.analysis import table1_config
+
+from .common import emit, run_once
+
+
+def bench_table1(benchmark):
+    figure = run_once(benchmark, table1_config)
+    emit(figure)
+    assert figure.value("IOMMU walkers", "value") == 8

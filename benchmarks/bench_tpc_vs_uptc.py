@@ -1,0 +1,12 @@
+"""Section IV-C: TPC (virtual path tags) vs UPTC (physical entry tags)."""
+
+from repro.analysis import tpc_vs_uptc
+
+from .common import emit, run_once
+
+
+def bench_tpc_vs_uptc(benchmark):
+    figure = run_once(benchmark, tpc_vs_uptc)
+    emit(figure)
+    # Paper's ordering: TPC skips at least as many walk references as UPTC.
+    assert figure.mean("tpc_skip_rate") >= figure.mean("uptc_skip_rate") - 0.01

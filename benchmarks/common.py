@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Each bench_*.py regenerates one paper table/figure.  Results are written to
+``benchmarks/results/<figure>.txt`` and echoed to the *real* stdout so they
+survive pytest's capture into ``bench_output.txt`` logs.
+
+Environment knobs:
+
+* ``NEUMMU_FULL=1`` — run the paper's full b01/b04/b08 batch grid for the
+  dense sweeps (default: b01+b08, which preserves every trend at roughly
+  half the runtime).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def batch_grid() -> Tuple[int, ...]:
+    """Dense-sweep batch grid (trimmed by default; NEUMMU_FULL=1 for all)."""
+    if os.environ.get("NEUMMU_FULL"):
+        return (1, 4, 8)
+    return (1, 8)
+
+
+def emit(figure) -> None:
+    """Persist and display one rendered FigureResult."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = figure.render()
+    (RESULTS_DIR / f"{figure.figure_id}.txt").write_text(text + "\n")
+    # Bypass pytest capture so the table lands in tee'd logs.
+    print(f"\n{text}\n", file=sys.__stdout__, flush=True)
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space tour: build your own NPU MMU and see what matters.
+
+Walks the main axes of the paper's design space on one workload —
+TLB capacity (barely matters), path caches (energy, not speed), page size
+(fixes dense nets only) — and prints a verdict table.  A template for
+exploring *new* design points with the library's public API.
+
+Run:  python examples/design_space_sweep.py [workload] [batch]
+"""
+
+import sys
+
+from repro.core import MMUConfig, oracle_config
+from repro.energy import translation_energy
+from repro.memory import PAGE_SIZE_2M
+from repro.npu import NPUSimulator
+from repro.workloads import dense_workload
+
+
+def evaluate(factory, config, oracle_cycles):
+    result = NPUSimulator(factory(), config).run()
+    norm = oracle_cycles / result.total_cycles
+    energy = translation_energy(
+        result.mmu_summary, uses_tpreg=(config.path_cache == "tpreg")
+    )
+    return norm, energy.total_uj, result.mmu_summary
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "RNN-2"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    factory = lambda: dense_workload(name, batch)
+
+    oracle = NPUSimulator(factory(), oracle_config()).run()
+    oracle_2m = NPUSimulator(factory(), oracle_config(PAGE_SIZE_2M)).run()
+
+    design_points = [
+        ("IOMMU (Table I)", MMUConfig(name="iommu", n_walkers=8)),
+        ("  + huge TLB (128K)", MMUConfig(name="tlb128k", n_walkers=8,
+                                          tlb_entries=131072)),
+        ("  + PRMB(32)", MMUConfig(name="prmb", n_walkers=8, prmb_slots=32)),
+        ("  + 128 PTWs", MMUConfig(name="ptw", n_walkers=128, prmb_slots=32)),
+        ("  + TPreg = NeuMMU", MMUConfig(name="neummu", n_walkers=128,
+                                         prmb_slots=32, path_cache="tpreg")),
+        ("NeuMMU w/ TPC(16)", MMUConfig(name="tpc", n_walkers=128,
+                                        prmb_slots=32, path_cache="tpc")),
+        ("NeuMMU w/ UPTC(16)", MMUConfig(name="uptc", n_walkers=128,
+                                         prmb_slots=32, path_cache="uptc")),
+    ]
+
+    print(f"{name} b{batch:02d} — design-space walk (4 KB pages)\n")
+    print(f"{'design point':22s} {'perf':>6s} {'energy(uJ)':>11s} "
+          f"{'walks':>9s} {'merges':>9s}")
+    for label, config in design_points:
+        norm, uj, summary = evaluate(factory, config, oracle.total_cycles)
+        print(f"{label:22s} {norm:6.3f} {uj:11.1f} "
+              f"{summary.walks:9,} {summary.merges:9,}")
+
+    iommu_2m = MMUConfig(name="iommu2m", n_walkers=8, page_size=PAGE_SIZE_2M)
+    norm, uj, _ = evaluate(factory, iommu_2m, oracle_2m.total_cycles)
+    print(f"{'IOMMU @ 2 MB pages':22s} {norm:6.3f} {uj:11.1f}")
+
+    print(
+        "\nReading the table: even absurd TLB capacity recovers only a"
+        "\nfraction of the loss, merging (PRMB) plus walker throughput"
+        "\nrecovers essentially all of it, and TPreg pays for itself purely"
+        "\nin walk-energy reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: measure address-translation overhead on one CNN.
+
+Runs AlexNet (the paper's CNN-1) on the Table-I TPU-style NPU under three
+MMUs — an oracle, the GPU-centric baseline IOMMU, and NeuMMU — and prints
+the paper's headline comparison: the IOMMU collapses under the DMA's
+translation bursts while NeuMMU tracks the oracle.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import baseline_iommu_config, neummu_config, oracle_config
+from repro.npu import NPUSimulator
+from repro.workloads import alexnet
+
+
+def main() -> None:
+    factory = lambda: alexnet(batch=1)
+
+    print("Simulating AlexNet (batch 1) on a 128x128 TPU-style NPU...\n")
+    oracle = NPUSimulator(factory(), oracle_config()).run()
+    print(f"{'MMU':10s} {'cycles':>14s} {'vs oracle':>10s}  details")
+    print(f"{'oracle':10s} {oracle.total_cycles:14,.0f} {'1.000':>10s}  "
+          f"(all translations free)")
+
+    for config in (baseline_iommu_config(), neummu_config()):
+        result = NPUSimulator(factory(), config).run()
+        norm = oracle.total_cycles / result.total_cycles
+        s = result.mmu_summary
+        print(
+            f"{config.name:10s} {result.total_cycles:14,.0f} {norm:10.3f}  "
+            f"walks={s.walks:,} merges={s.merges:,} "
+            f"walk-mem-refs={s.walk_level_accesses:,}"
+        )
+
+    print(
+        "\nThe baseline IOMMU (8 walkers, no merging) loses ~95% of"
+        "\nperformance to translation bursts; NeuMMU (PRMB + 128 walkers +"
+        "\nTPreg) stays within a fraction of a percent of the oracle —"
+        "\nthe paper's Section IV-D result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Trace capture and replay: evaluate MMUs without the full simulator.
+
+Captures the DMA translation trace of a network once, saves it to disk,
+and replays it through several MMU configurations — the workflow a
+downstream MMU architect would use with their own traces.  Replaying
+isolates the memory/translation phases, which is exactly what an MMU
+study wants.
+
+Run:  python examples/trace_replay.py [workload] [batch]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import MMUConfig, baseline_iommu_config, neummu_config, oracle_config
+from repro.npu import TranslationTrace, capture_trace, replay_trace
+from repro.workloads import dense_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CNN-2"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    print(f"Capturing DMA translation trace of {name} b{batch:02d}...")
+    trace = capture_trace(dense_workload(name, batch))
+    print(
+        f"  {len(trace.bursts)} bursts, {trace.transaction_count:,} "
+        f"transactions, {trace.total_bytes / 2**20:.1f} MB, "
+        f"{trace.distinct_pages():,} distinct 4 KB pages"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = trace.save(Path(tmp) / f"{trace.name}.trace")
+        print(f"  saved to {path.name} "
+              f"({path.stat().st_size / 2**20:.1f} MB on disk)")
+        trace = TranslationTrace.load(path)
+
+    configs = [
+        oracle_config(),
+        baseline_iommu_config(),
+        MMUConfig(name="prmb-only", n_walkers=8, prmb_slots=32),
+        neummu_config(),
+    ]
+    print("\nReplaying the trace (memory phases only):")
+    oracle_cycles = None
+    print(f"  {'MMU':10s} {'cycles':>14s} {'vs oracle':>10s} {'stalls':>14s}")
+    for config in configs:
+        result = replay_trace(trace, config)
+        if oracle_cycles is None:
+            oracle_cycles = result.total_cycles
+        print(
+            f"  {config.name:10s} {result.total_cycles:14,.0f} "
+            f"{oracle_cycles / result.total_cycles:10.3f} "
+            f"{result.stall_cycles:14,.0f}"
+        )
+
+    print(
+        "\nWith compute phases stripped away, the translation bottleneck"
+        "\nis even starker than end-to-end: this is the isolated view of"
+        "\nthe paper's Section III-C characterization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools but not the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  Keeping a setup.py
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+path, which needs nothing beyond setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

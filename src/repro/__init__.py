@@ -1,0 +1,33 @@
+"""NeuMMU reproduction (ASPLOS 2020).
+
+A from-scratch Python implementation of *NeuMMU: Architectural Support for
+Efficient Address Translations in Neural Processing Units* (Hyun, Kwon,
+Choi, Kim, Rhu — KAIST), including every substrate the paper's evaluation
+depends on:
+
+* an x86-64-style virtual-memory system (:mod:`repro.memory`),
+* the MMU design space — oracle, baseline IOMMU, and NeuMMU with PRMB,
+  a throughput-centric walker pool, and TPreg (:mod:`repro.core`),
+* a TPU-style NPU simulator with scratchpad double-buffering and a
+  translation-burst-faithful DMA model (:mod:`repro.npu`),
+* the dense CNN/RNN and sparse NCF/DLRM workload zoo
+  (:mod:`repro.workloads`),
+* the multi-NPU NUMA / demand-paging case study (:mod:`repro.sparse`),
+* energy/area models (:mod:`repro.energy`),
+* and one experiment entry point per paper table/figure
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.core import neummu_config
+    from repro.npu import normalized_vs_oracle
+    from repro.workloads import alexnet
+
+    perf, _, _ = normalized_vs_oracle(lambda: alexnet(batch=1),
+                                      neummu_config())
+    print(f"NeuMMU achieves {perf:.1%} of an oracular MMU")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,66 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+See DESIGN.md's per-experiment index for the mapping from paper artifact to
+function; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from .experiments import (
+    ENERGY_PAIRS,
+    PRMB_SLOT_SWEEP,
+    PTW_SWEEP,
+    fig6_page_divergence,
+    fig7_translation_bursts,
+    fig8_baseline_iommu,
+    fig10_prmb_sweep,
+    fig11_ptw_sweep,
+    fig12a_ptw_no_prmb,
+    fig12b_energy_sweep,
+    fig13_tpreg_hit_rates,
+    fig14_va_trace,
+    fig15_numa,
+    fig16_demand_paging,
+    headline_claims,
+    large_pages_dense,
+    multilevel_tlb_ablation,
+    overhead_area,
+    prefetch_ablation,
+    sensitivity_large_batch,
+    sensitivity_tlb,
+    spatial_npu,
+    table1_config,
+    tpc_vs_uptc,
+)
+from .figures import FigureResult, Series, geometric_mean
+from .runner import ExperimentRunner, dense_pairs
+
+__all__ = [
+    "ENERGY_PAIRS",
+    "PRMB_SLOT_SWEEP",
+    "PTW_SWEEP",
+    "ExperimentRunner",
+    "FigureResult",
+    "Series",
+    "dense_pairs",
+    "fig6_page_divergence",
+    "fig7_translation_bursts",
+    "fig8_baseline_iommu",
+    "fig10_prmb_sweep",
+    "fig11_ptw_sweep",
+    "fig12a_ptw_no_prmb",
+    "fig12b_energy_sweep",
+    "fig13_tpreg_hit_rates",
+    "fig14_va_trace",
+    "fig15_numa",
+    "fig16_demand_paging",
+    "geometric_mean",
+    "headline_claims",
+    "large_pages_dense",
+    "multilevel_tlb_ablation",
+    "overhead_area",
+    "prefetch_ablation",
+    "sensitivity_large_batch",
+    "sensitivity_tlb",
+    "spatial_npu",
+    "table1_config",
+    "tpc_vs_uptc",
+]

@@ -1,0 +1,95 @@
+"""ASCII chart rendering for experiment results.
+
+The paper's figures are bar charts; terminals don't do matplotlib, so
+these helpers turn a :class:`~repro.analysis.figures.FigureResult` column
+into a horizontal bar chart (one bar per series row) or a grouped chart
+(one bar per column per row).  Used by ``neummu run --chart``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .figures import FigureResult
+
+#: Glyph used for bar bodies.
+BAR = "#"
+
+
+def _scaled(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, min(width, round(value / maximum * width)))
+
+
+def render_bars(
+    fig: FigureResult,
+    column: str,
+    width: int = 50,
+    max_value: Optional[float] = None,
+) -> str:
+    """One horizontal bar per row for a single column.
+
+    ``max_value`` pins the scale (e.g. 1.0 for normalized performance);
+    by default the column maximum spans the full width.
+    """
+    values = fig.column(column)
+    if not values:
+        raise ValueError(f"column {column!r} empty in {fig.figure_id}")
+    scale = max_value if max_value is not None else max(values)
+    label_width = max(len(row.label) for row in fig.rows if column in row.values)
+    lines = [f"-- {fig.figure_id}: {column} --"]
+    for row in fig.rows:
+        if column not in row.values:
+            continue
+        value = row.values[column]
+        bar = BAR * _scaled(value, scale, width)
+        lines.append(f"{row.label.ljust(label_width)} |{bar:<{width}}| {value:.4g}")
+    return "\n".join(lines)
+
+
+def render_grouped(
+    fig: FigureResult,
+    columns: Optional[Sequence[str]] = None,
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Grouped bars: for each row, one bar per selected column.
+
+    Mirrors the paper's grouped bar figures (e.g. Figure 10's PRMB sweep,
+    where each workload carries one bar per slot count).
+    """
+    columns = list(columns or fig.columns)
+    all_values: List[float] = []
+    for col in columns:
+        all_values.extend(fig.column(col))
+    if not all_values:
+        raise ValueError(f"no values for columns {columns} in {fig.figure_id}")
+    scale = max_value if max_value is not None else max(all_values)
+    col_width = max(len(c) for c in columns)
+    lines = [f"-- {fig.figure_id}: {', '.join(columns)} --"]
+    for row in fig.rows:
+        lines.append(row.label)
+        for col in columns:
+            if col not in row.values:
+                continue
+            value = row.values[col]
+            bar = BAR * _scaled(value, scale, width)
+            lines.append(f"  {col.ljust(col_width)} |{bar:<{width}}| {value:.4g}")
+    return "\n".join(lines)
+
+
+def best_chart(fig: FigureResult, width: int = 50) -> str:
+    """Heuristic chart selection for CLI display.
+
+    Single-column figures get flat bars; multi-column figures whose values
+    look normalized (≤ ~1.2) get a pinned 0..1 scale.
+    """
+    numeric_columns = [c for c in fig.columns if fig.column(c)]
+    if not numeric_columns:
+        raise ValueError(f"{fig.figure_id} has no numeric columns to chart")
+    values = [v for c in numeric_columns for v in fig.column(c)]
+    pinned = 1.0 if max(values) <= 1.2 else None
+    if len(numeric_columns) == 1:
+        return render_bars(fig, numeric_columns[0], width=width, max_value=pinned)
+    return render_grouped(fig, numeric_columns, width=width, max_value=pinned)

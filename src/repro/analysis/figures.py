@@ -1,0 +1,100 @@
+"""Text rendering of experiment results.
+
+Every experiment in :mod:`repro.analysis.experiments` returns a
+:class:`FigureResult` — a labelled table mirroring one of the paper's
+tables/figures — which renders to aligned, monospaced text for terminals,
+benchmark logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class Series:
+    """One labelled row of a figure (e.g. one workload, one config)."""
+
+    label: str
+    values: Dict[str, float]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table/figure, ready to render."""
+
+    figure_id: str
+    title: str
+    columns: List[str]
+    rows: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, **values: float) -> None:
+        """Append a row."""
+        self.rows.append(Series(label=label, values=dict(values)))
+
+    def value(self, label: str, column: str) -> float:
+        """Look up one cell (raises KeyError when absent)."""
+        for row in self.rows:
+            if row.label == label:
+                return row.values[column]
+        raise KeyError(f"no row labelled {label!r} in {self.figure_id}")
+
+    def column(self, column: str) -> List[float]:
+        """All values of one column, in row order."""
+        return [row.values[column] for row in self.rows if column in row.values]
+
+    def mean(self, column: str) -> float:
+        """Arithmetic mean of a column."""
+        values = self.column(column)
+        if not values:
+            raise ValueError(f"column {column!r} empty in {self.figure_id}")
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------------------ #
+    # rendering                                                          #
+    # ------------------------------------------------------------------ #
+
+    def render(self, float_fmt: str = "{:.4g}") -> str:
+        """Aligned text table."""
+        header = ["series"] + list(self.columns)
+        body: List[List[str]] = []
+        for row in self.rows:
+            cells = [row.label]
+            for col in self.columns:
+                value = row.values.get(col)
+                if value is None:
+                    cells.append("-")
+                elif isinstance(value, float):
+                    cells.append(float_fmt.format(value))
+                else:
+                    cells.append(str(value))
+            body.append(cells)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (requires positive values)."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

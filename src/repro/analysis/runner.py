@@ -1,0 +1,97 @@
+"""Shared experiment plumbing: workload pairs, cached oracle runs, sweeps.
+
+The figure experiments all follow the same skeleton — run the dense suite
+under some MMU configuration and normalize against the oracle — so the
+oracle runs (one per workload × page size) are cached here and reused
+across sweep points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.mmu import MMUConfig, oracle_config
+from ..memory.address import PAGE_SIZE_4K
+from ..npu.config import NPUConfig
+from ..npu.simulator import Fidelity, NPUSimulator, RunResult
+from ..workloads.cnn import Workload
+from ..workloads.registry import DENSE_BATCHES, DENSE_WORKLOADS
+
+#: (display label, workload factory) pair.
+WorkloadPair = Tuple[str, Callable[[], Workload]]
+
+
+def dense_pairs(batches: Sequence[int] = DENSE_BATCHES) -> List[WorkloadPair]:
+    """The paper's dense evaluation grid: 6 networks × batch sizes."""
+    pairs: List[WorkloadPair] = []
+    for name, factory in DENSE_WORKLOADS.items():
+        for batch in batches:
+            label = f"{name}/b{batch:02d}"
+            pairs.append((label, _bind(factory, batch)))
+    return pairs
+
+
+def _bind(factory: Callable[[int], Workload], batch: int) -> Callable[[], Workload]:
+    def make() -> Workload:
+        return factory(batch)
+
+    return make
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs workloads under MMU configs with oracle-result caching."""
+
+    npu_config: NPUConfig = field(default_factory=NPUConfig)
+    compute_model: object = None
+    fidelity: Fidelity = Fidelity.FAST
+    warmup: int = 4
+
+    def __post_init__(self) -> None:
+        self._oracle_cache: Dict[Tuple[str, int], RunResult] = {}
+
+    def run(
+        self,
+        label: str,
+        factory: Callable[[], Workload],
+        mmu_config: MMUConfig,
+        **kwargs,
+    ) -> RunResult:
+        """One simulation; kwargs forward to :class:`NPUSimulator`."""
+        sim = NPUSimulator(
+            factory(),
+            mmu_config,
+            npu_config=self.npu_config,
+            compute_model=self.compute_model,
+            fidelity=self.fidelity,
+            warmup=self.warmup,
+            **kwargs,
+        )
+        return sim.run()
+
+    def oracle(
+        self,
+        label: str,
+        factory: Callable[[], Workload],
+        page_size: int = PAGE_SIZE_4K,
+    ) -> RunResult:
+        """Oracle run for ``label``, cached across sweep points."""
+        key = (label, page_size)
+        cached = self._oracle_cache.get(key)
+        if cached is None:
+            cached = self.run(label, factory, oracle_config(page_size))
+            self._oracle_cache[key] = cached
+        return cached
+
+    def normalized(
+        self,
+        label: str,
+        factory: Callable[[], Workload],
+        mmu_config: MMUConfig,
+        **kwargs,
+    ) -> Tuple[float, RunResult]:
+        """(oracle cycles / candidate cycles, candidate result)."""
+        oracle = self.oracle(label, factory, mmu_config.page_size)
+        candidate = self.run(label, factory, mmu_config, **kwargs)
+        return (oracle.total_cycles / candidate.total_cycles, candidate)

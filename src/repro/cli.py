@@ -1,0 +1,214 @@
+"""Command-line front end: ``neummu`` / ``python -m repro``.
+
+Examples::
+
+    neummu list                      # available experiments and workloads
+    neummu run fig8                  # reproduce Figure 8
+    neummu run fig8 --batches 1      # trimmed batch grid
+    neummu run all --out results/    # the full evaluation
+    neummu compare CNN-1 --batch 4   # oracle vs IOMMU vs NeuMMU, one net
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import analysis
+from .analysis.figures import FigureResult
+from .core.mmu import baseline_iommu_config, neummu_config, oracle_config
+from .npu.simulator import NPUSimulator
+from .workloads.registry import DENSE_WORKLOADS, dense_workload
+
+#: experiment name -> zero/one-arg callable returning a FigureResult.
+EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
+    "table1": analysis.table1_config,
+    "fig6": analysis.fig6_page_divergence,
+    "fig7": analysis.fig7_translation_bursts,
+    "fig8": analysis.fig8_baseline_iommu,
+    "fig10": analysis.fig10_prmb_sweep,
+    "fig11": analysis.fig11_ptw_sweep,
+    "fig12a": analysis.fig12a_ptw_no_prmb,
+    "fig12b": analysis.fig12b_energy_sweep,
+    "fig13": analysis.fig13_tpreg_hit_rates,
+    "fig14": analysis.fig14_va_trace,
+    "fig15": analysis.fig15_numa,
+    "fig16": analysis.fig16_demand_paging,
+    "tpc_vs_uptc": analysis.tpc_vs_uptc,
+    "headline": analysis.headline_claims,
+    "large_pages": analysis.large_pages_dense,
+    "spatial": analysis.spatial_npu,
+    "prefetch": analysis.prefetch_ablation,
+    "mltlb": analysis.multilevel_tlb_ablation,
+    "sens_tlb": analysis.sensitivity_tlb,
+    "sens_batch": analysis.sensitivity_large_batch,
+    "overhead": analysis.overhead_area,
+}
+
+#: Experiments that accept a ``batches`` keyword.
+_BATCHED = {
+    "fig6",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig13",
+    "fig15",
+    "fig16",
+    "tpc_vs_uptc",
+    "headline",
+    "large_pages",
+    "spatial",
+    "sens_tlb",
+    "prefetch",
+    "mltlb",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="neummu",
+        description="NeuMMU (ASPLOS 2020) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    run = sub.add_parser("run", help="reproduce one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name or 'all'")
+    run.add_argument(
+        "--batches",
+        type=int,
+        nargs="+",
+        default=None,
+        help="batch sizes for batched experiments (default: the paper's grid)",
+    )
+    run.add_argument(
+        "--out", type=Path, default=None, help="directory to save rendered tables"
+    )
+    run.add_argument(
+        "--chart", action="store_true", help="also render an ASCII bar chart"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="oracle vs IOMMU vs NeuMMU on one workload"
+    )
+    compare.add_argument("workload", choices=sorted(DENSE_WORKLOADS))
+    compare.add_argument("--batch", type=int, default=1)
+
+    report = sub.add_parser(
+        "report", help="run the headline experiments and emit a Markdown report"
+    )
+    report.add_argument(
+        "--out", type=Path, default=Path("reproduction_report.md"),
+        help="output Markdown path",
+    )
+    report.add_argument(
+        "--batches", type=int, nargs="+", default=[1],
+        help="batch grid for the underlying experiments",
+    )
+    return parser
+
+
+def _run_experiment(
+    name: str,
+    batches: Optional[Sequence[int]],
+    out_dir: Optional[Path],
+    chart: bool = False,
+) -> FigureResult:
+    func = EXPERIMENTS[name]
+    kwargs = {}
+    if batches is not None and name in _BATCHED:
+        kwargs["batches"] = tuple(batches)
+    started = time.time()
+    result = func(**kwargs)
+    elapsed = time.time() - started
+    text = result.render()
+    if chart:
+        from .analysis.ascii_chart import best_chart
+
+        try:
+            text += "\n\n" + best_chart(result)
+        except ValueError:
+            pass  # nothing numeric to chart
+    print(text)
+    print(f"[{name} completed in {elapsed:.1f}s]\n")
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return result
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:12s} {doc}")
+    print("\ndense workloads:")
+    for name, factory in DENSE_WORKLOADS.items():
+        print(f"  {name:8s} {factory(1).name.rsplit('_', 1)[0]}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        names: List[str] = list(EXPERIMENTS)
+    else:
+        if args.experiment not in EXPERIMENTS:
+            print(
+                f"unknown experiment {args.experiment!r}; "
+                f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        names = [args.experiment]
+    for name in names:
+        _run_experiment(name, args.batches, args.out, chart=args.chart)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    factory = lambda: dense_workload(args.workload, args.batch)
+    oracle = NPUSimulator(factory(), oracle_config()).run()
+    print(f"{args.workload} b{args.batch:02d}:")
+    print(f"  oracle : {oracle.total_cycles:14,.0f} cycles (1.000)")
+    for config in (baseline_iommu_config(), neummu_config()):
+        result = NPUSimulator(factory(), config).run()
+        norm = oracle.total_cycles / result.total_cycles
+        summary = result.mmu_summary
+        print(
+            f"  {config.name:7s}: {result.total_cycles:14,.0f} cycles "
+            f"({norm:.3f})  walks={summary.walks:,} merges={summary.merges:,} "
+            f"tlb_hit={summary.tlb_hit_rate:.2f}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_report
+
+    path = write_report(args.out, EXPERIMENTS, batches=tuple(args.batches))
+    print(f"report written to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The paper's contribution: NPU MMU models (oracle, IOMMU, NeuMMU).
+
+Public surface:
+
+* :class:`MMUConfig` plus the three canonical factories
+  (:func:`oracle_config`, :func:`baseline_iommu_config`,
+  :func:`neummu_config`) spanning the paper's design space;
+* :class:`MMU` — the translation state machine;
+* :class:`TranslationEngine` — replays DMA bursts against an MMU and the
+  shared memory system, producing memory-phase timings;
+* component models (:class:`TLB`, :class:`PendingTranslationScoreboard`,
+  :class:`MergeBuffer`, :class:`TPreg`, :class:`TranslationPathCache`,
+  :class:`UnifiedPageTableCache`, :class:`WalkerPool`) for unit-level
+  studies.
+"""
+
+from .engine import BurstResult, FaultHandler, Transaction, TranslationEngine
+from .mmu import (
+    MMU,
+    MMUConfig,
+    PATH_CACHE_KINDS,
+    TranslationFault,
+    baseline_iommu_config,
+    neummu_config,
+    oracle_config,
+)
+from .mmu_cache import (
+    NullPathCache,
+    PathCache,
+    PathCacheStats,
+    TranslationPathCache,
+    UnifiedPageTableCache,
+)
+from .prmb import MergeBuffer, MergeBufferStats
+from .pts import PendingTranslationScoreboard
+from .ptw import WalkCompletion, WalkerPool, WalkerPoolStats
+from .stats import RunSummary, TranslationStats, delta
+from .tlb import TLB
+from .tpreg import TPreg, TPregStats
+from .walk_info import WalkInfo, WalkResolver
+
+__all__ = [
+    "MMU",
+    "MMUConfig",
+    "PATH_CACHE_KINDS",
+    "BurstResult",
+    "FaultHandler",
+    "MergeBuffer",
+    "MergeBufferStats",
+    "NullPathCache",
+    "PathCache",
+    "PathCacheStats",
+    "PendingTranslationScoreboard",
+    "RunSummary",
+    "TLB",
+    "TPreg",
+    "TPregStats",
+    "Transaction",
+    "TranslationEngine",
+    "TranslationFault",
+    "TranslationPathCache",
+    "TranslationStats",
+    "UnifiedPageTableCache",
+    "WalkCompletion",
+    "WalkInfo",
+    "WalkResolver",
+    "WalkerPool",
+    "WalkerPoolStats",
+    "baseline_iommu_config",
+    "delta",
+    "neummu_config",
+    "oracle_config",
+]

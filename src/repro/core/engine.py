@@ -1,0 +1,185 @@
+"""Cycle-resolved translation/memory-phase engine.
+
+This engine replays one DMA *burst* (all linearized transactions of one
+tile fetch, Section III-C) against an MMU model and the shared memory
+system:
+
+* the DMA issues one translation request per cycle ("The DMA unit sends a
+  single translation each cycle", Figure 7);
+* a request either hits the TLB (5 cycles), merges into an in-flight walk's
+  PRMB, starts a (possibly redundant) walk, or blocks the issue port until
+  translation bandwidth frees up;
+* once translated, the transaction's data read is queued on the
+  bandwidth-limited memory system;
+* the burst's *memory phase* ends when the last data beat returns — the
+  implicit barrier before the tile's compute phase (Figure 3).
+
+An oracular MMU makes every translation free, so the same engine computes
+the paper's normalization baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..memory.dram import MainMemory
+from .mmu import MMU, TranslationFault
+
+#: A DMA transaction: (virtual address, size in bytes).
+Transaction = Tuple[int, int]
+
+#: Demand-paging hook: ``(vpn, fault_cycle) -> resolved_cycle``.  The hook
+#: must install the mapping (and invalidate the resolver entry) before
+#: returning; the engine retries the translation at ``resolved_cycle``.
+FaultHandler = Callable[[int, float], float]
+
+
+@dataclass
+class BurstResult:
+    """Timing of one tile-fetch burst."""
+
+    start_cycle: float
+    issue_end_cycle: float
+    data_end_cycle: float
+    transactions: int
+    bytes_moved: int
+    stall_cycles: float
+
+    @property
+    def duration(self) -> float:
+        """Full memory-phase duration of this burst."""
+        return self.data_end_cycle - self.start_cycle
+
+
+class TranslationEngine:
+    """Drives an MMU + memory system with DMA transaction streams."""
+
+    def __init__(
+        self,
+        mmu: MMU,
+        memory: MainMemory,
+        issue_interval: float = 1.0,
+        timeline_window: int = 0,
+        fault_handler: Optional[FaultHandler] = None,
+    ):
+        if issue_interval <= 0:
+            raise ValueError("issue interval must be positive")
+        self.mmu = mmu
+        self.memory = memory
+        self.issue_interval = issue_interval
+        self.timeline_window = timeline_window
+        self.fault_handler = fault_handler
+        #: window index -> number of translation requests issued in it
+        #: (Figure 7's burst histogram).  Populated when timeline_window > 0.
+        self.timeline: Dict[int, int] = {}
+
+    def run_burst(
+        self, transactions: Sequence[Transaction], start_cycle: float
+    ) -> BurstResult:
+        """Replay one burst; returns its timing.
+
+        ``transactions`` are issued in order at one per ``issue_interval``
+        cycles, subject to translation-bandwidth blocking.
+        """
+        mmu = self.mmu
+        memory = self.memory
+        vpn_shift = mmu._vpn_shift
+        window = self.timeline_window
+        timeline = self.timeline
+        interval = self.issue_interval
+        fault_handler = self.fault_handler
+        oracle = mmu.config.oracle and fault_handler is None
+        translate = mmu.translate
+        process = mmu.process_completions
+        heap = None if mmu.pool is None else mmu.pool.heap
+
+        # Memory-channel state is inlined here — this loop runs millions of
+        # times per workload and the channel update is pure arithmetic.
+        mem_cfg = memory.config
+        channel_free = memory._channel_free
+        n_channels = mem_cfg.channels
+        ch_bw = mem_cfg.channel_bandwidth
+        mem_latency = mem_cfg.access_latency_cycles
+
+        cycle = start_cycle
+        data_end = start_cycle
+        stall = 0.0
+        total_bytes = 0
+
+        for va, size in transactions:
+            if oracle:
+                mmu.stats.requests += 1
+                ready = cycle
+            else:
+                if heap is not None and heap and heap[0][0] <= cycle:
+                    process(cycle)
+                vpn = va >> vpn_shift
+                while True:
+                    try:
+                        ready, retry = translate(vpn, cycle)
+                    except TranslationFault:
+                        if fault_handler is None:
+                            raise
+                        resolved = fault_handler(vpn, cycle)
+                        stall += resolved - cycle
+                        cycle = resolved
+                        process(cycle)
+                        continue
+                    if ready is None:
+                        stall += retry - cycle
+                        cycle = retry
+                        process(cycle)
+                        continue
+                    break
+            if window:
+                key = int(cycle // window)
+                timeline[key] = timeline.get(key, 0) + 1
+            # Inlined MainMemory.access (same arithmetic/policy).
+            channel = (va >> 8) % n_channels
+            free_at = channel_free[channel]
+            start = ready if ready > free_at else free_at
+            finish = start + size / ch_bw
+            channel_free[channel] = finish
+            done = finish + mem_latency
+            if done > data_end:
+                data_end = done
+            total_bytes += size
+            cycle += interval
+
+        memory.total_bytes += total_bytes
+        memory.total_accesses += len(transactions)
+        return BurstResult(
+            start_cycle=start_cycle,
+            issue_end_cycle=cycle,
+            data_end_cycle=data_end,
+            transactions=len(transactions),
+            bytes_moved=total_bytes,
+            stall_cycles=stall,
+        )
+
+    def run_bursts(
+        self, bursts: Sequence[Sequence[Transaction]], start_cycle: float
+    ) -> Tuple[List[BurstResult], float]:
+        """Run several back-to-back bursts (e.g. a tile's IA then W fetch).
+
+        Burst *n+1*'s translations start as soon as burst *n*'s last
+        translation issued (the DMA does not interleave IA and W but need
+        not wait for data return); the combined memory phase ends when all
+        data has returned.
+        """
+        results: List[BurstResult] = []
+        cycle = start_cycle
+        data_end = start_cycle
+        for burst in bursts:
+            result = self.run_burst(burst, cycle)
+            results.append(result)
+            cycle = result.issue_end_cycle
+            if result.data_end_cycle > data_end:
+                data_end = result.data_end_cycle
+        return results, data_end
+
+    def timeline_series(self) -> List[Tuple[int, int]]:
+        """Sorted ``(window_start_cycle, request_count)`` pairs (Figure 7)."""
+        window = self.timeline_window or 1
+        return [(idx * window, count) for idx, count in sorted(self.timeline.items())]

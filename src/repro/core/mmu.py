@@ -1,0 +1,349 @@
+"""MMU assemblies: oracle, baseline IOMMU, and NeuMMU.
+
+An :class:`MMU` wires together the TLB, pending-translation scoreboard,
+walker pool, PRMBs and path caches into the translation state machine the
+engine drives.  Three canonical configurations reproduce the paper's design
+points:
+
+* :func:`oracle_config` — every translation hits with zero latency; the
+  normalization baseline for all "normalized performance" results.
+* :func:`baseline_iommu_config` — Table I: 2048-entry IOTLB, 8 walkers,
+  no PRMB, no MMU cache.
+* :func:`neummu_config` — Section IV: 128 walkers, 32 PRMB slots per
+  walker, one TPreg per walker.
+
+The ``translate`` protocol: the engine calls :meth:`MMU.translate` with the
+request's VPN and issue cycle; the result is either the cycle at which the
+translated request is released to the memory system, or ``None`` with a
+retry cycle when the request must stall (all walkers and merge capacity
+busy — "any further translation requests are blocked until the translation
+bandwidth is available", Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..memory.address import PAGE_SIZE_4K, page_offset_bits
+from ..memory.page_table import PageTable
+from .mmu_cache import (
+    NullPathCache,
+    PathCache,
+    TranslationPathCache,
+    UnifiedPageTableCache,
+)
+from .pts import PendingTranslationScoreboard
+from .ptw import WalkerPool
+from .stats import RunSummary, TranslationStats
+from .walk_info import WalkResolver
+
+#: Valid ``path_cache`` settings.
+PATH_CACHE_KINDS = ("none", "tpreg", "tpc", "uptc")
+
+
+@dataclass(frozen=True)
+class MMUConfig:
+    """Knobs spanning the paper's whole design space (Sections III–VI)."""
+
+    name: str = "custom"
+    #: Every translation free — the paper's normalization target.
+    oracle: bool = False
+    tlb_entries: int = 2048
+    tlb_hit_latency: int = 5
+    n_walkers: int = 8
+    #: PRMB mergeable slots per walker; 0 disables merging entirely.
+    prmb_slots: int = 0
+    walk_latency_per_level: int = 100
+    #: One of :data:`PATH_CACHE_KINDS`.
+    path_cache: str = "none"
+    #: Capacity for the shared "tpc"/"uptc" options.
+    path_cache_entries: int = 16
+    page_size: int = PAGE_SIZE_4K
+    #: When positive, a small L1 TLB fronts the main TLB (the GPU-style
+    #: multi-level hierarchy of Section III-C's strawman).
+    l1_tlb_entries: int = 0
+    l1_tlb_latency: int = 1
+    #: When positive, a next-page stream prefetcher issues up to this many
+    #: speculative walks per demand miss (extension study; see
+    #: :mod:`repro.core.prefetch`).
+    prefetch_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.path_cache not in PATH_CACHE_KINDS:
+            raise ValueError(
+                f"path_cache must be one of {PATH_CACHE_KINDS}, got {self.path_cache!r}"
+            )
+        if not self.oracle:
+            if self.tlb_entries <= 0:
+                raise ValueError("tlb_entries must be positive")
+            if self.n_walkers <= 0:
+                raise ValueError("n_walkers must be positive")
+            if self.prmb_slots < 0:
+                raise ValueError("prmb_slots cannot be negative")
+            if self.l1_tlb_entries < 0 or self.prefetch_depth < 0:
+                raise ValueError("l1_tlb_entries/prefetch_depth cannot be negative")
+
+    def with_page_size(self, page_size: int) -> "MMUConfig":
+        """Same design point at a different page size (Section VI-A)."""
+        return replace(self, page_size=page_size)
+
+
+def oracle_config(page_size: int = PAGE_SIZE_4K) -> MMUConfig:
+    """An oracular MMU: all translations hit with no added latency."""
+    return MMUConfig(name="oracle", oracle=True, page_size=page_size)
+
+
+def baseline_iommu_config(
+    tlb_entries: int = 2048,
+    n_walkers: int = 8,
+    page_size: int = PAGE_SIZE_4K,
+) -> MMUConfig:
+    """The GPU-centric strawman of Figure 8 (Table I parameters)."""
+    return MMUConfig(
+        name="iommu",
+        tlb_entries=tlb_entries,
+        n_walkers=n_walkers,
+        prmb_slots=0,
+        path_cache="none",
+        page_size=page_size,
+    )
+
+
+def neummu_config(
+    n_walkers: int = 128,
+    prmb_slots: int = 32,
+    tlb_entries: int = 2048,
+    path_cache: str = "tpreg",
+    page_size: int = PAGE_SIZE_4K,
+) -> MMUConfig:
+    """The proposed design: PRMB + many walkers + TPreg (Section IV-D)."""
+    return MMUConfig(
+        name="neummu",
+        tlb_entries=tlb_entries,
+        n_walkers=n_walkers,
+        prmb_slots=prmb_slots,
+        path_cache=path_cache,
+        page_size=page_size,
+    )
+
+
+class TranslationFault(Exception):
+    """A translation reached a non-present page and no fault handler ran."""
+
+    def __init__(self, vpn: int):
+        super().__init__(f"page fault translating VPN 0x{vpn:x}")
+        self.vpn = vpn
+
+
+class MMU:
+    """The translation state machine for one NPU device."""
+
+    def __init__(self, config: MMUConfig, page_table: PageTable):
+        from .prefetch import NextPagePrefetcher
+        from .tlb import TLB, TwoLevelTLB  # deferred to avoid doc-build cycles
+
+        self.config = config
+        self.resolver = WalkResolver(page_table, config.page_size)
+        self.stats = TranslationStats()
+        self._vpn_shift = page_offset_bits(config.page_size)
+        self._tlb_latency = config.tlb_hit_latency
+        self._prmb_slots = config.prmb_slots
+
+        if config.oracle:
+            self.tlb = None
+            self.pts = None
+            self.pool = None
+            self.prefetcher = None
+            self._two_level = False
+            return
+
+        self._two_level = config.l1_tlb_entries > 0
+        if self._two_level:
+            self.tlb = TwoLevelTLB(
+                l1_entries=config.l1_tlb_entries,
+                l2_entries=config.tlb_entries,
+                l1_latency=config.l1_tlb_latency,
+                l2_latency=config.tlb_hit_latency,
+            )
+        else:
+            self.tlb = TLB(config.tlb_entries)
+        self.prefetcher = (
+            NextPagePrefetcher(config.prefetch_depth)
+            if config.prefetch_depth > 0
+            else None
+        )
+        shared_cache: Optional[PathCache] = None
+        use_tpreg = False
+        if config.path_cache == "tpreg":
+            use_tpreg = True
+        elif config.path_cache == "tpc":
+            shared_cache = TranslationPathCache(config.path_cache_entries)
+        elif config.path_cache == "uptc":
+            shared_cache = UnifiedPageTableCache(config.path_cache_entries)
+        self.pool = WalkerPool(
+            n_walkers=config.n_walkers,
+            walk_latency_per_level=config.walk_latency_per_level,
+            prmb_slots=config.prmb_slots,
+            use_tpreg=use_tpreg,
+            shared_path_cache=shared_cache,
+        )
+        self.pts = PendingTranslationScoreboard(config.n_walkers)
+
+    # ------------------------------------------------------------------ #
+    # hot path                                                           #
+    # ------------------------------------------------------------------ #
+
+    def vpn_of(self, va: int) -> int:
+        """Virtual page number of ``va`` at this MMU's page size."""
+        return va >> self._vpn_shift
+
+    def tlb_contains(self, vpn: int) -> bool:
+        """Non-destructive TLB probe (used by the prefetcher)."""
+        if self.tlb is None:
+            return True
+        return self.tlb.contains(vpn)
+
+    def translate(self, vpn: int, cycle: float) -> Tuple[Optional[float], float]:
+        """Attempt one translation at ``cycle``.
+
+        Returns ``(ready_cycle, 0.0)`` on success — the cycle the translated
+        request is released toward memory — or ``(None, retry_cycle)`` when
+        the request blocks and must be retried at ``retry_cycle`` (after
+        calling :meth:`process_completions`).
+
+        Raises :class:`TranslationFault` when the page is unmapped; demand
+        paging callers catch this and invoke their fault path.
+        """
+        stats = self.stats
+        stats.requests += 1
+        if self.config.oracle:
+            # Translation is free, but a non-present page still faults —
+            # the oracle of the demand-paging study (Fig. 16) pays the same
+            # migrations, just zero translation latency.
+            if self.resolver.resolve_vpn(vpn) is None:
+                stats.requests -= 1
+                stats.faults += 1
+                raise TranslationFault(vpn)
+            return (cycle, 0.0)
+
+        if self._two_level:
+            pfn, hit_latency = self.tlb.lookup(vpn)
+        else:
+            pfn = self.tlb.lookup(vpn)
+            hit_latency = self._tlb_latency
+        if pfn is not None:
+            stats.tlb_hits += 1
+            if self.prefetcher is not None:
+                self.prefetcher.on_demand_hit(vpn)
+            return (cycle + hit_latency, 0.0)
+
+        walkers = self.pts.lookup(vpn)
+        redundant = walkers is not None
+        if redundant and self.prefetcher is not None:
+            # The page's walk is already in flight — possibly ours.
+            self.prefetcher.on_demand_hit(vpn)
+        if walkers is not None and self._prmb_slots:
+            for walker in walkers:
+                ready = self.pool.merge_into(walker)
+                if ready >= 0:
+                    stats.merges += 1
+                    return (ready, 0.0)
+
+        if self.pool.free_walkers:
+            walk = self.resolver.resolve_vpn(vpn)
+            if walk is None:
+                stats.requests -= 1  # the retried request will recount
+                stats.faults += 1
+                raise TranslationFault(vpn)
+            if redundant:
+                stats.redundant_walk_requests += 1
+            walker, completion = self.start_walk(walk, cycle, redundant)
+            if self.prefetcher is not None and not redundant:
+                self.prefetcher.on_demand_walk(self, vpn, cycle)
+            return (completion, 0.0)
+
+        # Fully blocked: no merge capacity and no walker.  Retry when the
+        # earliest in-flight walk completes.  The retried request will be
+        # recounted, so back out this attempt from the request tally.
+        stats.requests -= 1
+        retry = self.pool.earliest_completion()
+        stats.stall_events += 1
+        stats.stall_cycles += max(0.0, retry - cycle)
+        return (None, retry)
+
+    def start_walk(
+        self, walk, cycle: float, redundant: bool = False
+    ) -> Tuple[int, float]:
+        """Dispatch a walk and register it with the scoreboard."""
+        walker, completion = self.pool.start_walk(walk, cycle, redundant)
+        self.pts.register(walk.vpn, walker)
+        return walker, completion
+
+    def process_completions(self, cycle: float) -> None:
+        """Retire every walk completing at or before ``cycle``."""
+        if self.config.oracle:
+            return
+        heap = self.pool.heap
+        if not heap or heap[0][0] > cycle:
+            return
+        for comp in self.pool.complete_until(cycle):
+            self.pts.release(comp.walk.vpn, comp.walker)
+            self.tlb.insert(comp.walk.vpn, comp.walk.pfn)
+
+    def earliest_event(self) -> float:
+        """Next cycle at which MMU state changes (``inf`` when idle)."""
+        if self.config.oracle:
+            return float("inf")
+        return self.pool.earliest_completion()
+
+    def drain(self) -> None:
+        """Retire all in-flight walks (end of run)."""
+        self.process_completions(float("inf"))
+
+    # ------------------------------------------------------------------ #
+    # reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> RunSummary:
+        """Flattened counter view across all components."""
+        stats = self.stats
+        if self.config.oracle:
+            return RunSummary(
+                requests=stats.requests,
+                tlb_hits=stats.requests,
+                tlb_hit_rate=1.0,
+                merges=0,
+                walks=0,
+                redundant_walks=0,
+                walk_level_accesses=0,
+                walk_levels_skipped=0,
+                stall_events=0,
+                stall_cycles=0.0,
+                faults=stats.faults,
+                tpreg_l4_rate=0.0,
+                tpreg_l3_rate=0.0,
+                tpreg_l2_rate=0.0,
+            )
+        tpreg = self.pool.collect_tpreg_stats()
+        l4, l3, l2 = tpreg.hit_rates()
+        return RunSummary(
+            requests=stats.requests,
+            tlb_hits=stats.tlb_hits,
+            tlb_hit_rate=self.tlb.hit_rate,
+            merges=stats.merges,
+            walks=self.pool.stats.walks,
+            redundant_walks=self.pool.stats.redundant_walks,
+            walk_level_accesses=self.pool.stats.level_accesses,
+            walk_levels_skipped=self.pool.stats.levels_skipped,
+            stall_events=stats.stall_events,
+            stall_cycles=stats.stall_cycles,
+            faults=stats.faults,
+            tpreg_l4_rate=l4,
+            tpreg_l3_rate=l3,
+            tpreg_l2_rate=l2,
+            prefetches=self.prefetcher.stats.issued if self.prefetcher else 0,
+            prefetch_accuracy=(
+                self.prefetcher.stats.accuracy if self.prefetcher else 0.0
+            ),
+        )

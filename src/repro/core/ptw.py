@@ -1,0 +1,191 @@
+"""Hardware page-table walker pool.
+
+Table I's baseline IOMMU provisions 8 shared walkers; the paper's central
+result (Figures 11/12) is that SPM-centric NPUs need *throughput* — on the
+order of 128 walkers once PRMB merging filters redundant requests.  This
+module models a pool of walkers with:
+
+* fixed per-level walk latency (100 cycles/level, Table I),
+* a per-walker :class:`~repro.core.prmb.MergeBuffer` (PRMB),
+* a per-walker :class:`~repro.core.tpreg.TPreg` *or* a shared translation
+  path cache (TPC/UPTC) that lets walks skip upper-level references,
+* a completion event queue the MMU drains as time advances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .mmu_cache import NullPathCache, PathCache
+from .prmb import MergeBuffer, MergeBufferStats
+from .tpreg import TPreg, TPregStats
+from .walk_info import WalkInfo
+
+
+@dataclass
+class WalkCompletion:
+    """One finished page-table walk, ready for MMU post-processing."""
+
+    cycle: float
+    walker: int
+    walk: WalkInfo
+    merged_requests: int
+
+
+@dataclass
+class WalkerPoolStats:
+    """Aggregate walk activity (feeds the energy model and Figure 12)."""
+
+    walks: int = 0
+    redundant_walks: int = 0
+    level_accesses: int = 0
+    levels_skipped: int = 0
+
+    @property
+    def mean_levels_per_walk(self) -> float:
+        """Average memory references per walk after path-cache skipping."""
+        return self.level_accesses / self.walks if self.walks else 0.0
+
+
+class WalkerPool:
+    """A pool of page-table walkers with merging and path-skip support."""
+
+    def __init__(
+        self,
+        n_walkers: int,
+        walk_latency_per_level: int = 100,
+        prmb_slots: int = 0,
+        use_tpreg: bool = False,
+        shared_path_cache: Optional[PathCache] = None,
+    ):
+        if n_walkers <= 0:
+            raise ValueError(f"need at least one walker, got {n_walkers}")
+        if walk_latency_per_level <= 0:
+            raise ValueError("walk latency must be positive")
+        self.n_walkers = n_walkers
+        self.walk_latency_per_level = walk_latency_per_level
+        self.prmb_slots = prmb_slots
+        self.use_tpreg = use_tpreg
+
+        self.prmb_stats = MergeBufferStats()
+        self._buffers = [MergeBuffer(prmb_slots, self.prmb_stats) for _ in range(n_walkers)]
+        self.tpreg_stats = TPregStats()
+        self._tpregs: Optional[List[TPreg]] = (
+            [TPreg() for _ in range(n_walkers)] if use_tpreg else None
+        )
+        self._shared_cache: PathCache = shared_path_cache or NullPathCache()
+
+        self._free: List[int] = list(range(n_walkers - 1, -1, -1))
+        self._vpn: List[Optional[int]] = [None] * n_walkers
+        self._completion_of: List[float] = [0.0] * n_walkers
+        #: Completion min-heap of (cycle, seq, walker); exposed so the
+        #: MMU/engine can peek cheaply on the hot path.
+        self.heap: List[Tuple[float, int, int]] = []
+        self._walk_of: List[Optional[WalkInfo]] = [None] * n_walkers
+        self._seq = 0
+        self.stats = WalkerPoolStats()
+
+    # ------------------------------------------------------------------ #
+    # allocation                                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_walkers(self) -> int:
+        """Walkers currently idle."""
+        return len(self._free)
+
+    @property
+    def busy_walkers(self) -> int:
+        """Walkers with a walk in flight."""
+        return self.n_walkers - len(self._free)
+
+    def merge_into(self, walker: int) -> float:
+        """Try to merge a request into ``walker``'s PRMB.
+
+        Returns the request's ready cycle (walk completion + drain slot) or
+        ``-1.0`` when the buffer is full.
+        """
+        position = self._buffers[walker].try_merge()
+        if position == 0:
+            return -1.0
+        return self._completion_of[walker] + position
+
+    def start_walk(
+        self, walk: WalkInfo, cycle: float, redundant: bool = False
+    ) -> Tuple[int, float]:
+        """Dispatch ``walk`` on a free walker at ``cycle``.
+
+        Returns ``(walker_id, completion_cycle)``.  Caller must ensure a
+        walker is free (check :attr:`free_walkers`).
+        """
+        if not self._free:
+            raise RuntimeError("start_walk called with no free walker")
+        walker = self._free.pop()
+
+        skip = 0
+        if self._tpregs is not None:
+            skip = self._tpregs[walker].lookup(walk)
+        else:
+            skip = self._shared_cache.lookup(walk)
+        # The leaf PTE read can never be skipped.
+        levels_accessed = walk.levels - min(skip, walk.levels - 1)
+        duration = levels_accessed * self.walk_latency_per_level
+        completion = cycle + duration
+
+        self.stats.walks += 1
+        if redundant:
+            self.stats.redundant_walks += 1
+        self.stats.level_accesses += levels_accessed
+        self.stats.levels_skipped += walk.levels - levels_accessed
+
+        self._vpn[walker] = walk.vpn
+        self._walk_of[walker] = walk
+        self._completion_of[walker] = completion
+        self._seq += 1
+        heapq.heappush(self.heap, (completion, self._seq, walker))
+        return walker, completion
+
+    # ------------------------------------------------------------------ #
+    # completion                                                         #
+    # ------------------------------------------------------------------ #
+
+    def earliest_completion(self) -> float:
+        """Cycle of the next walk completion (``inf`` when idle)."""
+        return self.heap[0][0] if self.heap else float("inf")
+
+    def complete_until(self, cycle: float) -> Iterator[WalkCompletion]:
+        """Yield (and retire) every walk completing at or before ``cycle``.
+
+        On completion the walker's path register / shared cache is filled
+        and its PRMB drained; the walker returns to the free list.
+        """
+        while self.heap and self.heap[0][0] <= cycle:
+            completion, _, walker = heapq.heappop(self.heap)
+            walk = self._walk_of[walker]
+            assert walk is not None
+            if self._tpregs is not None:
+                self._tpregs[walker].fill(walk)
+            else:
+                self._shared_cache.fill(walk)
+            merged = self._buffers[walker].drain()
+            self._vpn[walker] = None
+            self._walk_of[walker] = None
+            self._free.append(walker)
+            yield WalkCompletion(
+                cycle=completion, walker=walker, walk=walk, merged_requests=merged
+            )
+
+    def collect_tpreg_stats(self) -> TPregStats:
+        """Aggregate per-walker TPreg counters (Figure 13)."""
+        total = TPregStats()
+        if self._tpregs is not None:
+            for reg in self._tpregs:
+                total.merge(reg.stats)
+        return total
+
+    @property
+    def shared_cache(self) -> PathCache:
+        """The shared TPC/UPTC, or a null cache when TPreg mode is active."""
+        return self._shared_cache

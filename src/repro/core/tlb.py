@@ -1,0 +1,179 @@
+"""Translation lookaside buffer.
+
+Table I's baseline IOMMU has a 2048-entry IOTLB with a 5-cycle hit latency.
+The paper's key observation (Section III-C) is that for SPM-centric NPUs the
+TLB is *not* the lever it is for CPUs/GPUs: translation bursts query the TLB
+before in-flight walks return, and streaming tile fetches revisit pages
+rarely — "even with an unrealistically large TLB with 128K entries ...
+less than 0.02% performance improvement".  Reproducing that result requires
+a faithful TLB, so one is provided: fully associative or set-associative,
+LRU replacement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class TLB:
+    """An LRU TLB mapping virtual page numbers to physical frame numbers.
+
+    ``associativity=None`` (the default) selects full associativity, which is
+    how IOTLBs are typically modelled in the GPU-MMU literature the paper
+    builds on.  Set-associative mode is provided for sensitivity studies.
+    """
+
+    def __init__(self, entries: int = 2048, associativity: Optional[int] = None):
+        if entries <= 0:
+            raise ValueError(f"TLB needs a positive entry count, got {entries}")
+        if associativity is not None:
+            if associativity <= 0 or entries % associativity:
+                raise ValueError(
+                    f"associativity {associativity} must divide entry count {entries}"
+                )
+        self.entries = entries
+        self.associativity = associativity
+        self.hits = 0
+        self.misses = 0
+        if associativity is None:
+            self._sets: List[OrderedDict] = [OrderedDict()]
+            self._set_mask = 0
+            self._ways = entries
+        else:
+            n_sets = entries // associativity
+            if n_sets & (n_sets - 1):
+                raise ValueError(f"number of sets {n_sets} must be a power of two")
+            self._sets = [OrderedDict() for _ in range(n_sets)]
+            self._set_mask = n_sets - 1
+            self._ways = associativity
+
+    def _set_for(self, vpn: int) -> OrderedDict:
+        return self._sets[vpn & self._set_mask]
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Probe the TLB; returns the cached PFN or None, updating LRU/stats."""
+        entry_set = self._set_for(vpn)
+        pfn = entry_set.get(vpn)
+        if pfn is None:
+            self.misses += 1
+            return None
+        entry_set.move_to_end(vpn)
+        self.hits += 1
+        return pfn
+
+    def contains(self, vpn: int) -> bool:
+        """Probe without disturbing LRU order or statistics."""
+        return vpn in self._set_for(vpn)
+
+    def insert(self, vpn: int, pfn: int) -> None:
+        """Fill an entry (typically on page-table-walk completion)."""
+        entry_set = self._set_for(vpn)
+        if vpn in entry_set:
+            entry_set.move_to_end(vpn)
+            entry_set[vpn] = pfn
+            return
+        if len(entry_set) >= self._ways:
+            entry_set.popitem(last=False)
+        entry_set[vpn] = pfn
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop one translation (e.g. after page migration); True if present."""
+        entry_set = self._set_for(vpn)
+        if vpn in entry_set:
+            del entry_set[vpn]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate everything (keeps hit/miss statistics)."""
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never probed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        assoc = "full" if self.associativity is None else str(self.associativity)
+        return f"TLB(entries={self.entries}, assoc={assoc}, occupancy={self.occupancy})"
+
+
+class TwoLevelTLB:
+    """A GPU-style L1/L2 TLB hierarchy (the Section III-C strawman).
+
+    Power et al. and Pichai et al. lean on multi-level TLBs to capture GPU
+    translation locality; the paper argues (and our Figure 8/sens_tlb
+    results confirm) that NPU translation *bursts* defeat capacity-based
+    filtering.  This class exists so that claim is testable: it presents
+    the same probe/insert interface as :class:`TLB` but with a small,
+    fast L1 backed by a larger L2.
+
+    ``lookup`` returns ``(pfn, latency)`` — L1 hits cost ``l1_latency``,
+    L2 hits cost ``l1_latency + l2_latency`` and promote into L1.
+    """
+
+    def __init__(
+        self,
+        l1_entries: int = 64,
+        l2_entries: int = 2048,
+        l1_latency: int = 1,
+        l2_latency: int = 5,
+    ):
+        if l1_latency < 0 or l2_latency < 0:
+            raise ValueError("TLB latencies cannot be negative")
+        self.l1 = TLB(l1_entries)
+        self.l2 = TLB(l2_entries)
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+
+    def lookup(self, vpn: int):
+        """Probe L1 then L2; returns ``(pfn or None, hit_latency)``."""
+        pfn = self.l1.lookup(vpn)
+        if pfn is not None:
+            return pfn, self.l1_latency
+        pfn = self.l2.lookup(vpn)
+        if pfn is not None:
+            self.l1.insert(vpn, pfn)
+            return pfn, self.l1_latency + self.l2_latency
+        return None, self.l1_latency + self.l2_latency
+
+    def insert(self, vpn: int, pfn: int) -> None:
+        """Fill both levels (walk completion)."""
+        self.l1.insert(vpn, pfn)
+        self.l2.insert(vpn, pfn)
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop a translation from both levels."""
+        in_l1 = self.l1.invalidate(vpn)
+        in_l2 = self.l2.invalidate(vpn)
+        return in_l1 or in_l2
+
+    def contains(self, vpn: int) -> bool:
+        """Probe either level without touching LRU state."""
+        return self.l1.contains(vpn) or self.l2.contains(vpn)
+
+    def flush(self) -> None:
+        """Invalidate both levels."""
+        self.l1.flush()
+        self.l2.flush()
+
+    @property
+    def hit_rate(self) -> float:
+        """Combined hierarchy hit rate (hits at either level)."""
+        probes = self.l1.hits + self.l1.misses
+        if not probes:
+            return 0.0
+        return (self.l1.hits + self.l2.hits) / probes

@@ -1,0 +1,105 @@
+"""Resolved page-table-walk descriptors.
+
+The timing engine needs, per virtual page, everything a hardware walker
+would discover: how many levels the walk traverses, the virtual L4/L3/L2
+indices (the TPreg/TPC tag, Section IV-C), the physical addresses of the
+entries read at each level (the UPTC tag), and the resulting PFN.
+:class:`WalkResolver` computes these once per page from the functional page
+table and memoizes them, since within a run millions of transactions hit a
+much smaller set of pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..memory.address import PAGE_SIZE_4K, page_offset_bits, split_indices
+from ..memory.page_table import PageFault, PageTable
+
+
+@dataclass(frozen=True)
+class WalkInfo:
+    """Everything known about one page's translation.
+
+    Attributes
+    ----------
+    vpn:
+        Virtual page number (relative to the *walk's* page size).
+    pfn:
+        Physical frame number the walk resolves to.
+    page_size:
+        4 KB or 2 MB.
+    levels:
+        Memory references of an uncached walk (4 for 4 KB, 3 for 2 MB).
+    path:
+        Upper-level virtual indices, outermost first.  For a 4 KB page this
+        is ``(l4, l3, l2)``; for a 2 MB page ``(l4, l3)`` — the skippable
+        prefix of the walk.
+    entry_pas:
+        Physical address of the entry read at each level, outermost first;
+        ``len(entry_pas) == levels``.
+    """
+
+    vpn: int
+    pfn: int
+    page_size: int
+    levels: int
+    path: Tuple[int, ...]
+    entry_pas: Tuple[int, ...]
+
+
+class WalkResolver:
+    """Memoizing functional-walk front-end for the timing engine."""
+
+    def __init__(self, page_table: PageTable, page_size: int = PAGE_SIZE_4K):
+        self.page_table = page_table
+        self.page_size = page_size
+        self._offset_bits = page_offset_bits(page_size)
+        self._cache: Dict[int, Optional[WalkInfo]] = {}
+
+    def resolve_vpn(self, vpn: int) -> Optional[WalkInfo]:
+        """Resolve a virtual page number; None means the walk page-faults."""
+        cached = self._cache.get(vpn, _SENTINEL)
+        if cached is not _SENTINEL:
+            return cached
+        va = vpn << self._offset_bits
+        try:
+            result = self.page_table.walk(va)
+        except PageFault:
+            self._cache[vpn] = None
+            return None
+        l4, l3, l2, _ = split_indices(va)
+        if result.page_size == PAGE_SIZE_4K:
+            path: Tuple[int, ...] = (l4, l3, l2)
+        else:
+            path = (l4, l3)
+        info = WalkInfo(
+            vpn=vpn,
+            pfn=result.pfn,
+            page_size=result.page_size,
+            levels=result.levels_accessed,
+            path=path,
+            entry_pas=tuple(step.entry_pa for step in result.steps),
+        )
+        self._cache[vpn] = info
+        return info
+
+    def resolve_va(self, va: int) -> Optional[WalkInfo]:
+        """Resolve the page containing ``va``."""
+        return self.resolve_vpn(va >> self._offset_bits)
+
+    def invalidate(self, vpn: int) -> None:
+        """Drop a memoized walk (after remapping/migration)."""
+        self._cache.pop(vpn, None)
+
+    def invalidate_all(self) -> None:
+        """Drop every memoized walk."""
+        self._cache.clear()
+
+
+class _Sentinel:
+    __slots__ = ()
+
+
+_SENTINEL = _Sentinel()

@@ -1,0 +1,19 @@
+"""Energy/area substrate: 45 nm event energies, CACTI-style SRAM estimates,
+and per-run translation-energy accounting (Sections IV-C/D/E, Figure 12b).
+"""
+
+from .accounting import EnergyBreakdown, energy_ratio, translation_energy
+from .cacti import NeuMMUOverhead, SramEstimate, estimate_sram, neummu_overhead
+from .tables import DEFAULT_ENERGY_TABLE, EnergyTable
+
+__all__ = [
+    "DEFAULT_ENERGY_TABLE",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "NeuMMUOverhead",
+    "SramEstimate",
+    "energy_ratio",
+    "estimate_sram",
+    "neummu_overhead",
+    "translation_energy",
+]

@@ -1,0 +1,77 @@
+"""Translation-energy accounting (Figures 12b, Section IV-C/D claims).
+
+Energy of the translation path is assembled from the activity counters a
+run produces (:class:`repro.core.stats.RunSummary`):
+
+* every page-table-walk memory reference costs one DRAM access — the
+  dominant term, and the one PRMB (fewer redundant walks) and TPreg
+  (fewer levels per walk) attack;
+* every translation request probes the TLB and, on a miss, the PTS;
+* merges charge a PRMB write (+ replay read);
+* walks charge a TPreg or path-cache probe.
+
+All reported results are *ratios* between design points, so only relative
+event energies matter (see :mod:`repro.energy.tables`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.stats import RunSummary
+from .tables import DEFAULT_ENERGY_TABLE, EnergyTable
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Translation-path energy of one run, picojoules per component."""
+
+    walk_dram_pj: float
+    tlb_pj: float
+    pts_pj: float
+    prmb_pj: float
+    path_cache_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.walk_dram_pj
+            + self.tlb_pj
+            + self.pts_pj
+            + self.prmb_pj
+            + self.path_cache_pj
+        )
+
+    @property
+    def total_uj(self) -> float:
+        """Total in microjoules (readability in reports)."""
+        return self.total_pj / 1e6
+
+
+def translation_energy(
+    summary: RunSummary,
+    table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    uses_tpreg: bool = False,
+) -> EnergyBreakdown:
+    """Energy of the translation activity captured in ``summary``."""
+    tlb_misses = summary.requests - summary.tlb_hits
+    probe_pj = table.tpreg_access_pj if uses_tpreg else table.path_cache_access_pj
+    return EnergyBreakdown(
+        walk_dram_pj=summary.walk_level_accesses * table.dram_access_pj,
+        tlb_pj=summary.requests * table.tlb_access_pj,
+        pts_pj=tlb_misses * table.pts_access_pj,
+        # One write on merge plus one read at drain/replay.
+        prmb_pj=summary.merges * 2 * table.prmb_access_pj,
+        path_cache_pj=summary.walks * probe_pj,
+    )
+
+
+def energy_ratio(baseline: EnergyBreakdown, candidate: EnergyBreakdown) -> float:
+    """How many times more energy ``baseline`` burns than ``candidate``.
+
+    The paper's headline: NeuMMU consumes 16.3× less translation energy
+    than the baseline IOMMU.
+    """
+    if candidate.total_pj <= 0:
+        raise ValueError("candidate energy must be positive")
+    return baseline.total_pj / candidate.total_pj

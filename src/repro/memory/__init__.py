@@ -1,0 +1,71 @@
+"""Virtual-memory substrate: addresses, page tables, allocators, DRAM model.
+
+This package implements everything the MMU models in :mod:`repro.core`
+translate against — the functional x86-64 4-level page table shared between
+CPU and NPU (Section II-B of the paper), tensor-to-linear-memory layout,
+and the fixed-latency bandwidth-limited memory system of Table I.
+"""
+
+from .address import (
+    ENTRIES_PER_NODE,
+    LEVEL_COVERAGE,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PAGE_TABLE_LEVELS,
+    VA_BITS,
+    AddressError,
+    Extent,
+    align_down,
+    align_up,
+    count_pages_in_range,
+    is_page_aligned,
+    join_indices,
+    page_base,
+    page_number,
+    page_offset,
+    page_offset_bits,
+    pages_in_range,
+    split_indices,
+    translation_path,
+)
+from .allocator import AddressSpace, FrameAllocator, OutOfMemory, Segment
+from .dram import MainMemory, MemoryConfig, bandwidth_bound_cycles
+from .layout import TensorLayout, coalesce_extents, extents_total_bytes
+from .page_table import PageFault, PageTable, WalkResult, WalkStep
+
+__all__ = [
+    "ENTRIES_PER_NODE",
+    "LEVEL_COVERAGE",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_4K",
+    "PAGE_TABLE_LEVELS",
+    "VA_BITS",
+    "AddressError",
+    "AddressSpace",
+    "Extent",
+    "FrameAllocator",
+    "MainMemory",
+    "MemoryConfig",
+    "OutOfMemory",
+    "PageFault",
+    "PageTable",
+    "Segment",
+    "TensorLayout",
+    "WalkResult",
+    "WalkStep",
+    "align_down",
+    "align_up",
+    "bandwidth_bound_cycles",
+    "coalesce_extents",
+    "count_pages_in_range",
+    "extents_total_bytes",
+    "is_page_aligned",
+    "join_indices",
+    "page_base",
+    "page_number",
+    "page_offset",
+    "page_offset_bits",
+    "pages_in_range",
+    "split_indices",
+    "translation_path",
+]

@@ -1,0 +1,200 @@
+"""Virtual/physical address arithmetic for the x86-64 style paging model.
+
+The paper assumes an x86-64, 4-level hierarchical page table (Section II-C):
+a 48-bit virtual address is split into a 12-bit page offset and four 9-bit
+indices (L1..L4, with L4 selecting an entry in the root PML4 table).  Both
+the baseline 4 KB *small* pages and 2 MB *large* pages (Section VI-A) are
+supported.
+
+All addresses are plain ``int``; the helpers here centralize the bit
+manipulation so higher layers (page tables, TLBs, translation-path caches)
+never open-code shifts and masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Number of paging levels in an x86-64 radix page table.
+PAGE_TABLE_LEVELS = 4
+
+#: Bits of virtual address actually translated on x86-64.
+VA_BITS = 48
+
+#: Bits per radix-tree index (512 entries per table node).
+INDEX_BITS = 9
+
+#: Entries per page-table node.
+ENTRIES_PER_NODE = 1 << INDEX_BITS
+
+#: Baseline small page (Section II-C).
+PAGE_SIZE_4K = 4 * 1024
+
+#: Large page (Section VI-A).
+PAGE_SIZE_2M = 2 * 1024 * 1024
+
+#: Region of VA space covered by a single entry at each level, smallest first:
+#: an L1 entry maps 4 KB, an L2 entry maps 2 MB, an L3 entry 1 GB, L4 512 GB.
+LEVEL_COVERAGE = tuple(PAGE_SIZE_4K << (INDEX_BITS * i) for i in range(PAGE_TABLE_LEVELS))
+
+
+class AddressError(ValueError):
+    """Raised for malformed or out-of-range addresses."""
+
+
+def _check_page_size(page_size: int) -> int:
+    if page_size not in (PAGE_SIZE_4K, PAGE_SIZE_2M):
+        raise AddressError(f"unsupported page size {page_size}; use 4 KB or 2 MB")
+    return page_size
+
+
+def page_offset_bits(page_size: int = PAGE_SIZE_4K) -> int:
+    """Number of offset bits for the given page size (12 for 4 KB, 21 for 2 MB)."""
+    _check_page_size(page_size)
+    return page_size.bit_length() - 1
+
+
+def page_number(va: int, page_size: int = PAGE_SIZE_4K) -> int:
+    """Virtual page number containing ``va``."""
+    return va >> page_offset_bits(page_size)
+
+
+def page_base(va: int, page_size: int = PAGE_SIZE_4K) -> int:
+    """Base address of the page containing ``va``."""
+    return va & ~(page_size - 1)
+
+
+def page_offset(va: int, page_size: int = PAGE_SIZE_4K) -> int:
+    """Offset of ``va`` within its page."""
+    return va & (page_size - 1)
+
+
+def is_page_aligned(va: int, page_size: int = PAGE_SIZE_4K) -> bool:
+    """True when ``va`` is a multiple of ``page_size``."""
+    return page_offset(va, page_size) == 0
+
+
+def align_up(va: int, alignment: int) -> int:
+    """Round ``va`` up to the next multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise AddressError(f"alignment must be a power of two, got {alignment}")
+    return (va + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(va: int, alignment: int) -> int:
+    """Round ``va`` down to a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise AddressError(f"alignment must be a power of two, got {alignment}")
+    return va & ~(alignment - 1)
+
+
+def split_indices(va: int) -> Tuple[int, int, int, int]:
+    """Split a canonical VA into its ``(l4, l3, l2, l1)`` radix-tree indices.
+
+    The indices select entries in the PML4 (L4), PDPT (L3), page directory
+    (L2) and page table (L1) respectively; each is in ``[0, 512)``.
+    """
+    if va < 0 or va >= (1 << VA_BITS):
+        raise AddressError(f"VA 0x{va:x} outside the {VA_BITS}-bit canonical range")
+    l1 = (va >> 12) & (ENTRIES_PER_NODE - 1)
+    l2 = (va >> 21) & (ENTRIES_PER_NODE - 1)
+    l3 = (va >> 30) & (ENTRIES_PER_NODE - 1)
+    l4 = (va >> 39) & (ENTRIES_PER_NODE - 1)
+    return (l4, l3, l2, l1)
+
+
+def join_indices(l4: int, l3: int, l2: int, l1: int, offset: int = 0) -> int:
+    """Inverse of :func:`split_indices` (plus an optional page offset)."""
+    for name, idx in (("l4", l4), ("l3", l3), ("l2", l2), ("l1", l1)):
+        if not 0 <= idx < ENTRIES_PER_NODE:
+            raise AddressError(f"{name} index {idx} outside [0, {ENTRIES_PER_NODE})")
+    if not 0 <= offset < PAGE_SIZE_4K:
+        raise AddressError(f"offset {offset} outside a 4 KB page")
+    return (l4 << 39) | (l3 << 30) | (l2 << 21) | (l1 << 12) | offset
+
+
+def translation_path(va: int) -> Tuple[int, int, int]:
+    """Upper ``(l4, l3, l2)`` indices of ``va`` — the TPreg/TPC tag.
+
+    Two VAs share a translation path exactly when their page-table walks
+    traverse the same L4, L3 and L2 entries, i.e. when they fall in the same
+    2 MB-aligned region (Section IV-C).
+    """
+    l4, l3, l2, _ = split_indices(va)
+    return (l4, l3, l2)
+
+
+def pages_in_range(va: int, length: int, page_size: int = PAGE_SIZE_4K) -> Iterator[int]:
+    """Yield the virtual page numbers touched by ``[va, va + length)``."""
+    if length < 0:
+        raise AddressError(f"negative range length {length}")
+    if length == 0:
+        return
+    first = page_number(va, page_size)
+    last = page_number(va + length - 1, page_size)
+    yield from range(first, last + 1)
+
+
+def count_pages_in_range(va: int, length: int, page_size: int = PAGE_SIZE_4K) -> int:
+    """Number of distinct pages touched by ``[va, va + length)``."""
+    if length < 0:
+        raise AddressError(f"negative range length {length}")
+    if length == 0:
+        return 0
+    return page_number(va + length - 1, page_size) - page_number(va, page_size) + 1
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous virtual-address range ``[va, va + length)``.
+
+    The DMA unit decomposes multi-dimensional tiles into per-row extents
+    (Section III-C); extents are later split into bounded memory
+    transactions at page boundaries.
+    """
+
+    va: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.va < 0:
+            raise AddressError(f"negative extent base 0x{self.va:x}")
+        if self.length <= 0:
+            raise AddressError(f"extent length must be positive, got {self.length}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the extent."""
+        return self.va + self.length
+
+    def split_at_pages(self, page_size: int = PAGE_SIZE_4K) -> Iterator["Extent"]:
+        """Split this extent so no piece crosses a page boundary."""
+        cursor = self.va
+        remaining = self.length
+        while remaining > 0:
+            room = page_size - page_offset(cursor, page_size)
+            piece = min(room, remaining)
+            yield Extent(cursor, piece)
+            cursor += piece
+            remaining -= piece
+
+    def split_transactions(
+        self, max_bytes: int, page_size: int = PAGE_SIZE_4K
+    ) -> Iterator["Extent"]:
+        """Split into DMA transactions of at most ``max_bytes`` bytes that
+        never cross a page boundary.
+
+        This mirrors the DMA behaviour of Section III-C: one tile decomposes
+        into many linearized transactions, each requiring one translation.
+        """
+        if max_bytes <= 0:
+            raise AddressError(f"max transaction size must be positive, got {max_bytes}")
+        for piece in self.split_at_pages(page_size):
+            cursor = piece.va
+            remaining = piece.length
+            while remaining > 0:
+                chunk = min(max_bytes, remaining)
+                yield Extent(cursor, chunk)
+                cursor += chunk
+                remaining -= chunk

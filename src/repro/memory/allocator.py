@@ -1,0 +1,217 @@
+"""Virtual-address-space and physical-frame allocators.
+
+The NPU runtime in the paper allocates each tensor (input activations,
+weights, output activations, embedding tables) as a contiguous virtual
+segment; segments are backed by physical frames through the shared page
+table.  Section IV-C's TPreg insight depends on this layout: "the number of
+distinct VA regions accessed is confined within a handful of large segments
+in the VA space (i.e., IA and W)".
+
+Two physical placement policies are provided:
+
+* ``contiguous`` — frames are handed out in ascending order (a fresh device
+  rarely fragments; this is also what makes 2 MB mappings possible).
+* ``shuffled`` — frames are deterministically permuted, modelling a
+  fragmented physical memory.  Translation *timing* is unaffected (walks
+  cost the same either way) but it exercises the functional path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .address import PAGE_SIZE_2M, PAGE_SIZE_4K, AddressError, align_up
+from .page_table import PageTable
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named, contiguous virtual allocation (one tensor)."""
+
+    name: str
+    va: int
+    length: int
+    page_size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the segment."""
+        return self.va + self.length
+
+    def contains(self, va: int) -> bool:
+        """True when ``va`` falls inside the segment."""
+        return self.va <= va < self.end
+
+
+class OutOfMemory(Exception):
+    """Raised when a physical-frame request cannot be satisfied."""
+
+
+class FrameAllocator:
+    """Allocates physical frame numbers from a fixed-capacity memory."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        page_size: int = PAGE_SIZE_4K,
+        policy: str = "contiguous",
+        seed: int = 0,
+    ):
+        if capacity_bytes <= 0:
+            raise AddressError(f"capacity must be positive, got {capacity_bytes}")
+        if policy not in ("contiguous", "shuffled"):
+            raise AddressError(f"unknown frame policy {policy!r}")
+        self.page_size = page_size
+        self.capacity_frames = capacity_bytes // page_size
+        self.policy = policy
+        self._next = 0
+        self._free: List[int] = []
+        self._rng = random.Random(seed)
+
+    @property
+    def allocated_frames(self) -> int:
+        """Frames currently handed out."""
+        return self._next - len(self._free)
+
+    @property
+    def free_frames(self) -> int:
+        """Frames still available."""
+        return self.capacity_frames - self.allocated_frames
+
+    def alloc(self, n_frames: int = 1) -> List[int]:
+        """Allocate ``n_frames`` physical frames; raises :class:`OutOfMemory`."""
+        if n_frames < 0:
+            raise AddressError(f"cannot allocate {n_frames} frames")
+        if n_frames > self.free_frames:
+            raise OutOfMemory(
+                f"requested {n_frames} frames but only {self.free_frames} free "
+                f"of {self.capacity_frames}"
+            )
+        frames: List[int] = []
+        while len(frames) < n_frames and self._free:
+            frames.append(self._free.pop())
+        remaining = n_frames - len(frames)
+        if remaining:
+            fresh = list(range(self._next, self._next + remaining))
+            self._next += remaining
+            if self.policy == "shuffled":
+                self._rng.shuffle(fresh)
+            frames.extend(fresh)
+        return frames
+
+    def free(self, frames: List[int]) -> None:
+        """Return frames to the allocator."""
+        self._free.extend(frames)
+
+
+class AddressSpace:
+    """A process-style virtual address space shared by CPU and NPU.
+
+    Combines a VA bump allocator, a frame allocator and a page table.  This
+    is the substrate both MMU models translate against; it also backs the
+    NUMA/demand-paging case study where a VA may map to a *remote* node's
+    frame (see :mod:`repro.sparse`).
+    """
+
+    #: Default base mirrors a typical mmap region; 2 MB aligned so large
+    #: pages are always possible.
+    DEFAULT_BASE = 0x7F00_0000_0000
+
+    def __init__(
+        self,
+        memory_bytes: int = 32 * 1024**3,
+        page_size: int = PAGE_SIZE_4K,
+        base_va: int = DEFAULT_BASE,
+        frame_policy: str = "contiguous",
+        seed: int = 0,
+    ):
+        self.page_size = page_size
+        self.page_table = PageTable()
+        self.frames = FrameAllocator(
+            memory_bytes, page_size=page_size, policy=frame_policy, seed=seed
+        )
+        self._cursor = align_up(base_va, PAGE_SIZE_2M)
+        self._segments: Dict[str, Segment] = {}
+
+    # ------------------------------------------------------------------ #
+    # allocation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def alloc_segment(
+        self,
+        name: str,
+        length: int,
+        page_size: Optional[int] = None,
+        populate: bool = True,
+        guard_bytes: int = PAGE_SIZE_2M,
+    ) -> Segment:
+        """Allocate a named contiguous segment of ``length`` bytes.
+
+        Segments are 2 MB aligned and separated by a guard gap so distinct
+        tensors never share a 2 MB translation path — matching the paper's
+        "handful of large segments" layout.  When ``populate`` is false, the
+        segment is reserved but left unmapped (used by the demand-paging
+        experiments, where pages fault in on first touch).
+        """
+        if name in self._segments:
+            raise AddressError(f"segment {name!r} already allocated")
+        if length <= 0:
+            raise AddressError(f"segment length must be positive, got {length}")
+        psize = page_size or self.page_size
+        base = align_up(self._cursor, PAGE_SIZE_2M)
+        seg = Segment(name=name, va=base, length=length, page_size=psize)
+        self._cursor = align_up(seg.end + guard_bytes, PAGE_SIZE_2M)
+        if populate:
+            self.populate(seg)
+        self._segments[name] = seg
+        return seg
+
+    def populate(self, seg: Segment) -> None:
+        """Back every page of ``seg`` with physical frames."""
+        n_pages = (seg.length + seg.page_size - 1) // seg.page_size
+        frames = self.frames.alloc(n_pages)
+        for i, pfn in enumerate(frames):
+            self.page_table.map_page(seg.va + i * seg.page_size, pfn, seg.page_size)
+
+    def touch(self, va: int, page_size: Optional[int] = None) -> bool:
+        """Fault-in the page containing ``va`` if unmapped.
+
+        Returns True when a new mapping was installed (i.e. this access
+        would have page-faulted).
+        """
+        psize = page_size or self.page_size
+        if self.page_table.is_mapped(va):
+            return False
+        base = va & ~(psize - 1)
+        pfn = self.frames.alloc(1)[0]
+        self.page_table.map_page(base, pfn, psize)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # lookup                                                             #
+    # ------------------------------------------------------------------ #
+
+    def segment(self, name: str) -> Segment:
+        """Look up a segment by name."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise AddressError(f"no segment named {name!r}") from None
+
+    def segments(self) -> List[Segment]:
+        """All segments in allocation order."""
+        return sorted(self._segments.values(), key=lambda s: s.va)
+
+    def find_segment(self, va: int) -> Optional[Segment]:
+        """Segment containing ``va``, or None."""
+        for seg in self._segments.values():
+            if seg.contains(va):
+                return seg
+        return None
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes reserved across all segments."""
+        return sum(s.length for s in self._segments.values())

@@ -1,0 +1,182 @@
+"""Tensor-to-linear-memory layout.
+
+Activations and weights are multi-dimensional tensors "mapped to a
+traditional, linear (1D) memory subsystem" (Section I).  When the DMA
+fetches a rectangular tile of such a tensor, only the innermost contiguous
+runs are linear in memory — so one tile decomposes into many per-row
+extents, which is precisely why a single tile fetch invokes thousands of
+translations (Section III-C).
+
+:class:`TensorLayout` captures a row-major tensor placed at a virtual base
+address and converts tile coordinates into :class:`~repro.memory.address.Extent`
+lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .address import AddressError, Extent
+
+
+def _row_major_strides(shape: Sequence[int], elem_bytes: int) -> Tuple[int, ...]:
+    """Byte strides of a dense row-major tensor."""
+    strides = [elem_bytes] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return tuple(strides)
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """A dense row-major tensor at a fixed virtual base address.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"conv3/weights"``).
+    base_va:
+        Virtual address of element ``(0, 0, ..., 0)``.
+    shape:
+        Logical dimensions, outermost first.
+    elem_bytes:
+        Bytes per element (4 for fp32, 2 for fp16/bf16).
+    """
+
+    name: str
+    base_va: int
+    shape: Tuple[int, ...]
+    elem_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise AddressError(f"tensor {self.name!r} needs at least one dimension")
+        if any(d <= 0 for d in self.shape):
+            raise AddressError(f"tensor {self.name!r} has non-positive dims {self.shape}")
+        if self.elem_bytes <= 0:
+            raise AddressError(f"elem_bytes must be positive, got {self.elem_bytes}")
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """Byte strides, outermost dimension first."""
+        return _row_major_strides(self.shape, self.elem_bytes)
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the tensor in bytes."""
+        total = self.elem_bytes
+        for d in self.shape:
+            total *= d
+        return total
+
+    @property
+    def end_va(self) -> int:
+        """One past the last byte of the tensor."""
+        return self.base_va + self.nbytes
+
+    def element_va(self, coords: Sequence[int]) -> int:
+        """Virtual address of the element at ``coords``."""
+        if len(coords) != len(self.shape):
+            raise AddressError(
+                f"tensor {self.name!r} is {len(self.shape)}-D, got {len(coords)} coords"
+            )
+        va = self.base_va
+        for c, dim, stride in zip(coords, self.shape, self.strides):
+            if not 0 <= c < dim:
+                raise AddressError(f"coord {c} out of bounds for dim {dim}")
+            va += c * stride
+        return va
+
+    # ------------------------------------------------------------------ #
+    # tile decomposition                                                 #
+    # ------------------------------------------------------------------ #
+
+    def tile_extents(
+        self, starts: Sequence[int], sizes: Sequence[int]
+    ) -> List[Extent]:
+        """Decompose a rectangular tile into contiguous linear extents.
+
+        The tile covers ``[starts[d], starts[d] + sizes[d])`` in each
+        dimension.  Trailing dimensions the tile covers entirely are
+        coalesced into the contiguous run, so e.g. a tile that spans full
+        rows of a 2-D tensor yields a single extent.
+
+        Returns extents in ascending-VA (row-major iteration) order, which
+        is also the order the DMA streams them — giving the streaming VA
+        pattern of Figure 14.
+        """
+        ndim = len(self.shape)
+        if len(starts) != ndim or len(sizes) != ndim:
+            raise AddressError(
+                f"tile coords must be {ndim}-D for tensor {self.name!r}"
+            )
+        for d in range(ndim):
+            if sizes[d] <= 0:
+                raise AddressError(f"tile size in dim {d} must be positive")
+            if starts[d] < 0 or starts[d] + sizes[d] > self.shape[d]:
+                raise AddressError(
+                    f"tile [{starts[d]}, {starts[d] + sizes[d]}) out of bounds "
+                    f"for dim {d} of size {self.shape[d]}"
+                )
+
+        # Find the split point: dims at or after `contig_from` are covered
+        # fully (and start at 0), so they fold into one contiguous run.
+        contig_from = ndim
+        while contig_from > 0:
+            d = contig_from - 1
+            if starts[d] == 0 and sizes[d] == self.shape[d]:
+                contig_from = d
+            else:
+                break
+        # The innermost non-full dim also contributes contiguously.
+        if contig_from > 0:
+            contig_from -= 1
+
+        strides = self.strides
+        run_bytes = sizes[contig_from] * strides[contig_from]
+        # Dims at/after contig_from contribute a fixed offset (dims beyond
+        # contig_from are fully covered from 0, so only contig_from matters).
+        run_start = self.base_va + starts[contig_from] * strides[contig_from]
+
+        extents: List[Extent] = []
+
+        def recurse(dim: int, va: int) -> None:
+            if dim == contig_from:
+                extents.append(Extent(va, run_bytes))
+                return
+            base = va + starts[dim] * strides[dim]
+            for i in range(sizes[dim]):
+                recurse(dim + 1, base + i * strides[dim])
+
+        recurse(0, run_start)
+        return extents
+
+    def full_extents(self) -> List[Extent]:
+        """The whole tensor as a single extent."""
+        return [Extent(self.base_va, self.nbytes)]
+
+
+def coalesce_extents(extents: Sequence[Extent]) -> List[Extent]:
+    """Merge adjacent/overlapping extents (input need not be sorted).
+
+    Useful for computing the distinct footprint of a tile and for tests
+    asserting tile decompositions cover exactly the expected bytes.
+    """
+    if not extents:
+        return []
+    ordered = sorted(extents, key=lambda e: e.va)
+    merged = [ordered[0]]
+    for ext in ordered[1:]:
+        last = merged[-1]
+        if ext.va <= last.end:
+            if ext.end > last.end:
+                merged[-1] = Extent(last.va, ext.end - last.va)
+        else:
+            merged.append(ext)
+    return merged
+
+
+def extents_total_bytes(extents: Sequence[Extent]) -> int:
+    """Sum of extent lengths (double-counts overlaps; see coalesce_extents)."""
+    return sum(e.length for e in extents)

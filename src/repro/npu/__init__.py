@@ -1,0 +1,71 @@
+"""NPU substrate: configuration, compute models, SPM, tiling, DMA, simulator.
+
+The baseline machine is Table I's TPU-style 128×128 weight-stationary
+systolic array with double-buffered scratchpads; :mod:`repro.npu.spatial`
+provides the Section VI-B spatial-array alternative.
+"""
+
+from .config import TABLE1, InterconnectConfig, NPUConfig
+from .dma import DMAEngine, FetchSpec, PageDivergence, distinct_pages
+from .simulator import (
+    Fidelity,
+    LayerResult,
+    NPUSimulator,
+    RunResult,
+    normalized_performance,
+    normalized_vs_oracle,
+    run_workload,
+)
+from .spatial import SpatialArrayConfig, SpatialArrayModel
+from .spm import Scratchpad, SPMCapacityError
+from .systolic import GemmShape, SystolicArrayModel, VectorUnitModel
+from .trace import (
+    ReplayResult,
+    TranslationTrace,
+    capture_trace,
+    replay_trace,
+    synthesize_page_table,
+)
+from .tiling import (
+    ConvGeometry,
+    LayerSchedule,
+    TileStep,
+    plan_conv,
+    plan_gemm,
+    plan_recurrent,
+)
+
+__all__ = [
+    "TABLE1",
+    "ConvGeometry",
+    "DMAEngine",
+    "FetchSpec",
+    "Fidelity",
+    "GemmShape",
+    "InterconnectConfig",
+    "LayerResult",
+    "LayerSchedule",
+    "NPUConfig",
+    "NPUSimulator",
+    "PageDivergence",
+    "ReplayResult",
+    "RunResult",
+    "SPMCapacityError",
+    "TranslationTrace",
+    "capture_trace",
+    "replay_trace",
+    "synthesize_page_table",
+    "Scratchpad",
+    "SpatialArrayConfig",
+    "SpatialArrayModel",
+    "SystolicArrayModel",
+    "TileStep",
+    "VectorUnitModel",
+    "distinct_pages",
+    "normalized_performance",
+    "normalized_vs_oracle",
+    "plan_conv",
+    "plan_gemm",
+    "plan_recurrent",
+    "run_workload",
+]

@@ -1,0 +1,108 @@
+"""NPU and system configuration (Table I).
+
+All defaults reproduce the paper's baseline: a Google TPU-style 128×128
+systolic array at 1 GHz, scratchpad-based on-chip memory with
+double-buffering, an 8-channel 600 GB/s local memory with 100-cycle access
+latency, and the system-interconnect parameters used by the NUMA case study
+(Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..memory.address import PAGE_SIZE_4K
+from ..memory.dram import MemoryConfig
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """System-interconnect parameters (Table I, bottom block).
+
+    Bandwidths are converted to bytes/cycle at the NPU's 1 GHz clock:
+    16 GB/s PCIe ⇒ 16 B/cycle, 160 GB/s NVLINK-class ⇒ 160 B/cycle.
+    """
+
+    numa_latency_cycles: int = 150
+    cpu_npu_bandwidth_bytes_per_cycle: float = 16.0
+    npu_npu_bandwidth_bytes_per_cycle: float = 160.0
+
+    def __post_init__(self) -> None:
+        if self.numa_latency_cycles < 0:
+            raise ValueError("NUMA latency cannot be negative")
+        if self.cpu_npu_bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("CPU-NPU bandwidth must be positive")
+        if self.npu_npu_bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("NPU-NPU bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class NPUConfig:
+    """Baseline NPU architecture (Table I, top blocks)."""
+
+    #: Systolic array dimensions (rows x cols).
+    array_rows: int = 128
+    array_cols: int = 128
+    #: Operating frequency; all latencies in this codebase are cycles at
+    #: this clock, so the frequency only matters when converting to seconds.
+    frequency_hz: float = 1e9
+    #: Scratchpad capacities.  Table I: 15 MB for activations, 10 MB for
+    #: weights; both double-buffered, so per-tile budgets are half.
+    ia_spm_bytes: int = 15 * MB
+    w_spm_bytes: int = 10 * MB
+    double_buffered: bool = True
+    #: Bytes per tensor element (fp32 to match the CNN/RNN suites).
+    elem_bytes: int = 4
+    #: Maximum linearized DMA transaction size.  A multi-MB tile therefore
+    #: decomposes into thousands of transactions (Section III-C), and a
+    #: 4 KB page sees a run of ~16 back-to-back same-page translations —
+    #: the intra-tile burst locality the PRMB harvests (Figure 10).
+    dma_transaction_bytes: int = 256
+    #: Local memory system.
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: System interconnect for the multi-NPU / NUMA experiments.
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    #: Page size used when sizing per-tile translation work.
+    page_size: int = PAGE_SIZE_4K
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        if self.ia_spm_bytes <= 0 or self.w_spm_bytes <= 0:
+            raise ValueError("scratchpad sizes must be positive")
+        if self.elem_bytes <= 0:
+            raise ValueError("element size must be positive")
+        if self.dma_transaction_bytes <= 0:
+            raise ValueError("DMA transaction size must be positive")
+
+    @property
+    def ia_tile_budget(self) -> int:
+        """Bytes available for one in-flight IA tile."""
+        return self.ia_spm_bytes // 2 if self.double_buffered else self.ia_spm_bytes
+
+    @property
+    def w_tile_budget(self) -> int:
+        """Bytes available for one in-flight weight tile."""
+        return self.w_spm_bytes // 2 if self.double_buffered else self.w_spm_bytes
+
+    @property
+    def pe_count(self) -> int:
+        """Total processing elements in the array."""
+        return self.array_rows * self.array_cols
+
+    def scaled(self, factor: float) -> "NPUConfig":
+        """A proportionally smaller/larger NPU (sensitivity studies)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            ia_spm_bytes=max(1, int(self.ia_spm_bytes * factor)),
+            w_spm_bytes=max(1, int(self.w_spm_bytes * factor)),
+        )
+
+
+#: The Table I design point, importable everywhere.
+TABLE1 = NPUConfig()

@@ -1,0 +1,152 @@
+"""DMA engine: tiles → linearized extents → translated memory transactions.
+
+Section III-C: "a single tile tensor can be decomposed into multiple,
+linearized memory transactions by the DMA unit.  Each of these memory
+transactions require address translation".  The DMA here takes a
+:class:`FetchSpec` (a rectangular tile of a row-major tensor), expands it to
+contiguous extents via :class:`~repro.memory.layout.TensorLayout`, and
+splits those into transactions bounded by the DMA's maximum burst size,
+never crossing a 4 KB boundary (so each transaction maps to exactly one
+page at either page size).
+
+It also computes the *page divergence* of a fetch — the number of distinct
+pages a single tile touches — which is Figure 6's metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..memory.address import PAGE_SIZE_4K, Extent, page_number
+from ..memory.layout import TensorLayout
+from .config import NPUConfig
+
+#: One DMA transaction: (virtual address, size in bytes).
+Transaction = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FetchSpec:
+    """A planned tile fetch: a rectangular slice of one tensor.
+
+    ``tensor`` labels the stream ("ia" or "w"); ``signature`` (shape-only,
+    no base address) is the key the FAST-fidelity simulator dedups on.
+    """
+
+    tensor: str
+    layout: TensorLayout
+    starts: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes this fetch moves."""
+        total = self.layout.elem_bytes
+        for s in self.sizes:
+            total *= s
+        return total
+
+    @property
+    def signature(self) -> Tuple:
+        """Shape-identity for dedup.
+
+        Deliberately excludes the tensor *name* and tile *position*: two
+        fetches of the same tile geometry from same-shaped tensors produce
+        the same extent structure (all segments are 2 MB aligned), hence
+        the same translation-timing class.  This is what lets the FAST
+        fidelity mode reuse timings across repeated layers/blocks.
+        """
+        return (self.tensor, self.layout.shape, self.sizes)
+
+    def extents(self) -> List[Extent]:
+        """Contiguous linear extents of the tile (ascending VA)."""
+        return self.layout.tile_extents(self.starts, self.sizes)
+
+
+class DMAEngine:
+    """Decomposes fetches into bounded, page-local transactions."""
+
+    def __init__(self, config: NPUConfig | None = None):
+        self.config = config or NPUConfig()
+        #: Transactions never cross this boundary so one transaction always
+        #: lives in one page (valid for both 4 KB and 2 MB translation).
+        self.split_boundary = PAGE_SIZE_4K
+
+    def transactions(self, fetch: FetchSpec) -> List[Transaction]:
+        """All transactions of one tile fetch, in DMA issue order.
+
+        Inline arithmetic equivalent of
+        :meth:`repro.memory.address.Extent.split_transactions` — this runs
+        for every simulated tile, so object churn is avoided.
+        """
+        max_bytes = self.config.dma_transaction_bytes
+        boundary = self.split_boundary
+        offset_mask = boundary - 1
+        txs: List[Transaction] = []
+        append = txs.append
+        for extent in fetch.extents():
+            va = extent.va
+            remaining = extent.length
+            while remaining > 0:
+                room = boundary - (va & offset_mask)
+                chunk = room if room < max_bytes else max_bytes
+                if chunk > remaining:
+                    chunk = remaining
+                append((va, chunk))
+                va += chunk
+                remaining -= chunk
+        return txs
+
+    def transaction_count(self, fetch: FetchSpec) -> int:
+        """Number of transactions without materializing them."""
+        return len(self.transactions(fetch))
+
+
+def distinct_pages(
+    extents: Sequence[Extent], page_size: int = PAGE_SIZE_4K
+) -> int:
+    """Exact count of distinct pages touched by ``extents``.
+
+    Extents are sorted by VA and page runs are merged across adjacent
+    extents, so overlapping or page-sharing rows are not double-counted.
+    """
+    last_counted = -1
+    total = 0
+    for ext in sorted(extents, key=lambda e: e.va):
+        first = page_number(ext.va, page_size)
+        last = page_number(ext.end - 1, page_size)
+        if first <= last_counted:
+            first = last_counted + 1
+        if last >= first:
+            total += last - first + 1
+            last_counted = last
+    return total
+
+
+@dataclass
+class PageDivergence:
+    """Figure 6's per-workload statistic."""
+
+    max_pages: int
+    mean_pages: float
+    fetches: int
+
+    @classmethod
+    def from_counts(cls, counts: Iterable[int]) -> "PageDivergence":
+        values = list(counts)
+        if not values:
+            return cls(max_pages=0, mean_pages=0.0, fetches=0)
+        return cls(
+            max_pages=max(values),
+            mean_pages=sum(values) / len(values),
+            fetches=len(values),
+        )
+
+
+def page_divergence_of_fetches(
+    fetches: Iterable[FetchSpec], page_size: int = PAGE_SIZE_4K
+) -> PageDivergence:
+    """Distinct-page statistics over every tile fetch of a schedule."""
+    counts = [distinct_pages(f.extents(), page_size) for f in fetches]
+    return PageDivergence.from_counts(counts)

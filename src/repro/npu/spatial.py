@@ -1,0 +1,81 @@
+"""Spatial-array NPU compute model (Section VI-B).
+
+To show NeuMMU generalizes beyond systolic designs, the paper also models a
+spatial architecture "similar to DaDianNao or Eyeriss, which employs a
+two-dimensional grid of PEs, each of which contains a vector ALU that
+handles dot-product operations".  What matters for the MMU study is that
+the design is *also* SPM-centric — the translation-burst behaviour is
+unchanged — while its compute-phase timing differs (less pipeline fill
+overhead, lower peak utilization on ragged shapes).
+
+The model: a ``grid_rows × grid_cols`` PE grid, each PE a ``vector_lanes``
+wide MAC unit.  A GEMM is spatially blocked over output tiles; each pass
+processes one output block with dot-products streamed ``vector_lanes`` at a
+time, plus a fixed per-pass pipeline overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .config import NPUConfig
+from .systolic import GemmShape
+
+
+@dataclass(frozen=True)
+class SpatialArrayConfig:
+    """Geometry of the spatial NPU (DaDianNao/Eyeriss flavoured)."""
+
+    grid_rows: int = 16
+    grid_cols: int = 16
+    vector_lanes: int = 64
+    #: Cycles of pipeline setup per output-block pass.
+    pass_overhead_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.grid_rows, self.grid_cols, self.vector_lanes) <= 0:
+            raise ValueError("spatial array dimensions must be positive")
+
+    @property
+    def pe_count(self) -> int:
+        """Total PEs in the grid."""
+        return self.grid_rows * self.grid_cols
+
+
+class SpatialArrayModel:
+    """Analytical compute model with the same interface as the systolic one.
+
+    Usable as a drop-in ``compute_model`` for
+    :class:`repro.npu.simulator.NPUSimulator`, which is exactly how the
+    Section VI-B experiment swaps architectures.
+    """
+
+    def __init__(
+        self,
+        config: NPUConfig | None = None,
+        spatial: SpatialArrayConfig | None = None,
+    ):
+        self.config = config or NPUConfig()
+        self.spatial = spatial or SpatialArrayConfig()
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """Compute-phase cycles for an M×K×N GEMM on the PE grid.
+
+        Output elements are distributed across the grid; each PE computes
+        its dot products ``vector_lanes`` MACs per cycle.
+        """
+        shape = GemmShape(m, k, n)
+        grid = self.spatial.pe_count
+        outputs = shape.m * shape.n
+        # Each pass maps up to `grid` output elements; a pass runs its
+        # K-long dot products in ceil(K / lanes) cycles.
+        passes = ceil(outputs / grid)
+        dot_cycles = ceil(shape.k / self.spatial.vector_lanes)
+        return float(passes * dot_cycles + self.spatial.pass_overhead_cycles)
+
+    def utilization(self, shape: GemmShape) -> float:
+        """Achieved MAC throughput relative to peak (diagnostic)."""
+        cycles = self.gemm_cycles(shape.m, shape.k, shape.n)
+        peak = self.spatial.pe_count * self.spatial.vector_lanes * cycles
+        return shape.macs / peak if peak else 0.0

@@ -1,0 +1,53 @@
+"""Scratchpad-memory accounting.
+
+NPUs "utilize most of its on-chip SRAM as a scratchpad memory" and
+double-buffer it so tile *n+1*'s memory phase hides behind tile *n*'s
+compute phase (Section II-A, Figure 3).  The SPM needs no timing model —
+its whole point is that PE↔SPM accesses are deterministic and never
+translated — but the tiler must respect its capacity, and the simulator
+must know the double-buffer budget.  This module is that bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SPMCapacityError(ValueError):
+    """A tile was planned that exceeds its scratchpad partition."""
+
+
+@dataclass(frozen=True)
+class Scratchpad:
+    """One SPM partition (the paper splits IA and W partitions)."""
+
+    name: str
+    capacity_bytes: int
+    double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise SPMCapacityError(
+                f"SPM {self.name!r} needs positive capacity, got {self.capacity_bytes}"
+            )
+
+    @property
+    def tile_budget(self) -> int:
+        """Bytes one in-flight tile may occupy.
+
+        Double buffering halves the usable capacity: one buffer holds the
+        tile being computed on while the other receives the next tile.
+        """
+        return self.capacity_bytes // 2 if self.double_buffered else self.capacity_bytes
+
+    def check_tile(self, nbytes: int) -> None:
+        """Raise :class:`SPMCapacityError` when a tile exceeds the budget."""
+        if nbytes > self.tile_budget:
+            raise SPMCapacityError(
+                f"tile of {nbytes} bytes exceeds SPM {self.name!r} budget "
+                f"of {self.tile_budget} bytes"
+            )
+
+    def fits(self, nbytes: int) -> bool:
+        """True when a tile of ``nbytes`` fits the per-tile budget."""
+        return nbytes <= self.tile_budget

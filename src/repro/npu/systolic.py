@@ -1,0 +1,110 @@
+"""Weight-stationary systolic-array timing model (SCALE-sim style).
+
+The baseline NPU is a Google TPU-style 128×128 systolic array with a
+weight-stationary dataflow (Section II-C).  Like SCALE-sim, we compute the
+compute-phase cycle count of a GEMM analytically:
+
+* the stationary operand (weights, shape K×N) is partitioned into
+  ``ceil(K/rows) × ceil(N/cols)`` *folds*;
+* each fold loads its weights into the array column-by-column (``rows``
+  cycles), then streams ``M`` activation rows through, draining after
+  ``rows + cols − 1`` further cycles.
+
+This captures the first-order behaviour the paper's evaluation needs: the
+compute phase of a tile grows with its GEMM volume while pipeline fill /
+drain penalizes skinny matrices — which is what makes RNN inference
+memory-phase-bound and CNNs compute-phase-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .config import NPUConfig
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """A dense matrix multiplication C[M,N] += A[M,K] · B[K,N]."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations."""
+        return self.m * self.k * self.n
+
+
+class SystolicArrayModel:
+    """Analytical weight-stationary compute-phase model."""
+
+    def __init__(self, config: NPUConfig | None = None):
+        self.config = config or NPUConfig()
+
+    def folds(self, shape: GemmShape) -> int:
+        """Number of weight folds the GEMM requires."""
+        rows = self.config.array_rows
+        cols = self.config.array_cols
+        return ceil(shape.k / rows) * ceil(shape.n / cols)
+
+    def cycles_per_fold(self, shape: GemmShape) -> int:
+        """Steady-state cycles one fold occupies the array.
+
+        The TPU double-buffers weights inside the array ("Prefetching
+        Weights for Use in a Neural Network Processor", US 9805304B2), so
+        fold *n+1*'s weight shift-in overlaps fold *n*'s streaming; a fold
+        therefore occupies the array for max(activation rows, weight-load
+        depth) cycles.
+        """
+        return max(shape.m, self.config.array_rows)
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """Compute-phase cycles for an M×K×N GEMM.
+
+        Steady-state fold pipeline plus one array fill + drain.
+        """
+        shape = GemmShape(m, k, n)
+        rows = self.config.array_rows
+        cols = self.config.array_cols
+        fill_drain = rows + cols + min(shape.m, rows) - 2
+        return float(self.folds(shape) * self.cycles_per_fold(shape) + fill_drain)
+
+    def utilization(self, shape: GemmShape) -> float:
+        """Achieved MAC throughput relative to peak (diagnostic)."""
+        cycles = self.gemm_cycles(shape.m, shape.k, shape.n)
+        peak = self.config.pe_count * cycles
+        return shape.macs / peak if peak else 0.0
+
+
+class VectorUnitModel:
+    """Timing for non-GEMM element-wise work (activations, reductions).
+
+    ReLU/bias/elementwise operations run on the post-array vector units
+    (Figure 2's ReLU block); throughput is one element per PE column per
+    cycle, which keeps them negligible next to GEMMs — matching the paper's
+    treatment (they are never on the critical path of the dense results).
+    """
+
+    def __init__(self, config: NPUConfig | None = None):
+        self.config = config or NPUConfig()
+
+    def elementwise_cycles(self, elements: int) -> float:
+        """Cycles to apply a pointwise op to ``elements`` values."""
+        if elements < 0:
+            raise ValueError("element count cannot be negative")
+        return elements / self.config.array_cols
+
+    def reduction_cycles(self, elements: int) -> float:
+        """Cycles for a tree reduction over ``elements`` values."""
+        if elements < 0:
+            raise ValueError("element count cannot be negative")
+        lanes = self.config.array_cols
+        # Tree depth is tiny; the streaming term dominates.
+        return elements / lanes + max(0, lanes.bit_length() - 1)

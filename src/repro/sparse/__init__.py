@@ -1,0 +1,36 @@
+"""Sparse embedding case study: multi-NPU NUMA and demand paging (Section V, VI-A).
+
+* :mod:`repro.sparse.numa` — interconnect models (CPU-bounce / PCIe NUMA /
+  NVLINK NUMA) with Table I's latency/bandwidth parameters;
+* :mod:`repro.sparse.multi_npu` — Figure 5's model-parallel table sharding
+  and all-to-all volume accounting;
+* :mod:`repro.sparse.recsys` — the Figure 15 end-to-end latency breakdown;
+* :mod:`repro.sparse.demand_paging` — the Figure 16 page-migration study.
+"""
+
+from .demand_paging import (
+    DemandPagingConfig,
+    DemandPagingResult,
+    DemandPagingSimulator,
+    demand_paging_cell,
+)
+from .multi_npu import Shard, ShardedModel, shard_model
+from .numa import HostRuntime, LinkModel, nvlink_link, pcie_link
+from .recsys import TRANSPORTS, LatencyBreakdown, RecSysSystem
+
+__all__ = [
+    "TRANSPORTS",
+    "DemandPagingConfig",
+    "DemandPagingResult",
+    "DemandPagingSimulator",
+    "HostRuntime",
+    "LatencyBreakdown",
+    "LinkModel",
+    "RecSysSystem",
+    "Shard",
+    "ShardedModel",
+    "demand_paging_cell",
+    "nvlink_link",
+    "pcie_link",
+    "shard_model",
+]

@@ -1,0 +1,108 @@
+"""Multi-NPU system: embedding-table sharding and all-to-all volumes.
+
+Figure 5's accelerator-centric parallelization: embedding tables are
+model-parallelized (each NPU stores a subset of tables) while the MLPs are
+data-parallelized (each NPU processes a batch slice).  After the lookup
+phase, an all-to-all shuffle turns "all of the minibatch's lookups for my
+tables" into "all tables' lookups for my slice of the minibatch".
+
+This module is the pure arithmetic of that structure — who owns which
+table, how many bytes cross which link — consumed by both the NUMA latency
+model (:mod:`repro.sparse.recsys`) and the demand-paging simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..workloads.embedding import EmbeddingTableSpec, RecSysModel
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One NPU's slice of the model."""
+
+    npu: int
+    tables: Tuple[EmbeddingTableSpec, ...]
+
+    @property
+    def embedding_bytes(self) -> int:
+        return sum(t.nbytes for t in self.tables)
+
+
+@dataclass(frozen=True)
+class ShardedModel:
+    """A recsys model partitioned across ``n_npus`` devices (Figure 5)."""
+
+    model: RecSysModel
+    n_npus: int
+    shards: Tuple[Shard, ...]
+
+    def owner_of(self, table_index: int) -> int:
+        """NPU holding the given table (round-robin placement)."""
+        if not 0 <= table_index < len(self.model.tables):
+            raise IndexError(f"no table {table_index}")
+        return table_index % self.n_npus
+
+    def local_tables(self, npu: int) -> Tuple[EmbeddingTableSpec, ...]:
+        """Tables resident on ``npu``."""
+        return self.shards[npu].tables
+
+    # ------------------------------------------------------------------ #
+    # all-to-all accounting                                              #
+    # ------------------------------------------------------------------ #
+
+    def lookup_bytes_per_npu(self, batch: int) -> int:
+        """Bytes each owner NPU gathers locally during the lookup phase.
+
+        Each owner looks up *the whole minibatch* against its tables
+        (model parallelism).
+        """
+        per_npu = [
+            sum(
+                t.vector_bytes * self.model.lookups_per_table * batch
+                for t in shard.tables
+            )
+            for shard in self.shards
+        ]
+        return max(per_npu) if per_npu else 0
+
+    def alltoall_send_bytes(self, npu: int, batch: int) -> int:
+        """Bytes ``npu`` must ship to *other* NPUs after its local lookups.
+
+        Owner ``npu`` gathered ``batch`` lookups per local table; every
+        other NPU needs its ``batch / n`` slice of each.
+        """
+        mine = sum(
+            t.vector_bytes * self.model.lookups_per_table * batch
+            for t in self.shards[npu].tables
+        )
+        return mine * (self.n_npus - 1) // self.n_npus
+
+    def alltoall_recv_bytes(self, npu: int, batch: int) -> int:
+        """Bytes ``npu`` receives: its batch slice from all remote tables."""
+        slice_samples = batch // self.n_npus if self.n_npus > 1 else batch
+        remote = 0
+        for i, table in enumerate(self.model.tables):
+            if self.owner_of(i) != npu:
+                remote += table.vector_bytes * self.model.lookups_per_table * slice_samples
+        return remote
+
+    def alltoall_total_bytes(self, batch: int) -> int:
+        """Total bytes crossing the interconnect in the shuffle."""
+        return sum(self.alltoall_send_bytes(n, batch) for n in range(self.n_npus))
+
+
+def shard_model(model: RecSysModel, n_npus: int) -> ShardedModel:
+    """Round-robin the model's tables across ``n_npus`` (Figure 5: "each
+    GPU is allocated with 1/N of the embedding tables")."""
+    if n_npus <= 0:
+        raise ValueError("need at least one NPU")
+    buckets: List[List[EmbeddingTableSpec]] = [[] for _ in range(n_npus)]
+    for i, table in enumerate(model.tables):
+        buckets[i % n_npus].append(table)
+    shards = tuple(
+        Shard(npu=i, tables=tuple(tables)) for i, tables in enumerate(buckets)
+    )
+    return ShardedModel(model=model, n_npus=n_npus, shards=shards)

@@ -1,0 +1,111 @@
+"""System-interconnect and remote-access models (Section V, Table I).
+
+Three transports matter to the case study:
+
+* **CPU bounce** — what an MMU-less NPU is stuck with: the CPU runtime
+  copies remote embeddings to a pinned host buffer over PCIe, then copies
+  them again to the destination NPU.  Two bus traversals, a host staging
+  copy, and per-transfer runtime overheads.
+* **NUMA(slow)** — NeuMMU lets the NPU page-fault/translate to a remote
+  physical address and gather directly over the legacy PCIe interconnect.
+* **NUMA(fast)** — the same over an NVLINK-class NPU↔NPU fabric.
+
+Links are latency + bandwidth servers with an efficiency factor for
+fine-grained traffic (small reads waste header/completion bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..npu.config import InterconnectConfig
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A simple latency/bandwidth/efficiency link."""
+
+    name: str
+    latency_cycles: float
+    bandwidth_bytes_per_cycle: float
+    #: Fraction of raw bandwidth usable by the traffic class (packetization
+    #: and read-completion overhead for fine-grained transfers).
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ValueError("link latency cannot be negative")
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Usable bytes per cycle."""
+        return self.bandwidth_bytes_per_cycle * self.efficiency
+
+    def bulk_transfer_cycles(self, nbytes: int) -> float:
+        """One large DMA transfer: latency + streaming time."""
+        if nbytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_cycles + nbytes / self.effective_bandwidth
+
+    def gather_cycles(
+        self, n_requests: int, request_bytes: int, outstanding: int = 32
+    ) -> float:
+        """Fine-grained gather of ``n_requests`` × ``request_bytes``.
+
+        Requests are pipelined ``outstanding`` deep, so time is the larger
+        of the bandwidth bound and the latency bound.
+        """
+        if n_requests < 0 or request_bytes < 0:
+            raise ValueError("gather parameters cannot be negative")
+        if n_requests == 0 or request_bytes == 0:
+            return 0.0
+        if outstanding <= 0:
+            raise ValueError("outstanding requests must be positive")
+        bandwidth_bound = n_requests * request_bytes / self.effective_bandwidth
+        latency_bound = n_requests * self.latency_cycles / outstanding
+        return self.latency_cycles + max(bandwidth_bound, latency_bound)
+
+
+@dataclass(frozen=True)
+class HostRuntime:
+    """CPU-runtime costs of the MMU-less copy path (Section III-B).
+
+    Each CPU-orchestrated transfer pays a submission/completion overhead
+    (driver + runtime, ~microseconds), and staged data crosses host memory
+    twice (copy-in + copy-out of the pinned buffer).
+    """
+
+    transfer_overhead_cycles: float = 2500.0  # ~2.5 us at 1 GHz
+    host_memory_bandwidth_bytes_per_cycle: float = 100.0  # ~100 GB/s
+
+    def staging_copy_cycles(self, nbytes: int) -> float:
+        """Time for the host-side staging memcpy of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("staging size cannot be negative")
+        return nbytes / self.host_memory_bandwidth_bytes_per_cycle
+
+
+def pcie_link(config: InterconnectConfig, fine_grained: bool = False) -> LinkModel:
+    """The legacy CPU↔NPU / NPU↔NPU PCIe link (Table I: 16 GB/s)."""
+    return LinkModel(
+        name="pcie",
+        latency_cycles=config.numa_latency_cycles,
+        bandwidth_bytes_per_cycle=config.cpu_npu_bandwidth_bytes_per_cycle,
+        efficiency=0.5 if fine_grained else 0.9,
+    )
+
+
+def nvlink_link(config: InterconnectConfig, fine_grained: bool = False) -> LinkModel:
+    """The NVLINK-class NPU↔NPU fabric (Table I: 160 GB/s)."""
+    return LinkModel(
+        name="nvlink",
+        latency_cycles=config.numa_latency_cycles,
+        bandwidth_bytes_per_cycle=config.npu_npu_bandwidth_bytes_per_cycle,
+        efficiency=0.8 if fine_grained else 0.95,
+    )

@@ -1,0 +1,210 @@
+"""End-to-end recommendation-system latency model (Figure 15).
+
+One inference batch runs the Figure 4/5 pipeline on a multi-NPU system:
+
+1. **Embedding lookup** — each owner NPU gathers the whole batch's vectors
+   from its local tables, then the all-to-all shuffle moves every NPU's
+   batch slice into place.  The shuffle's transport is the experiment's
+   variable:
+
+   * ``baseline``   — MMU-less NPU: owner→CPU copy, host staging, CPU→dest
+     copy, each leg over PCIe with per-transfer runtime overhead
+     (Section III-B's "multi-step data copies and data duplication");
+   * ``numa_slow``  — NeuMMU-enabled fine-grained NUMA gather over PCIe;
+   * ``numa_fast``  — the same over the NVLINK-class NPU↔NPU fabric.
+
+2. **Dense phase** — bottom MLP (DLRM), feature interaction
+   (reduction), top MLP, all data-parallel on the batch slice; timed with
+   the systolic model, overlapped with local weight streaming.
+
+3. **Else** — framework/launch overhead and concatenation traffic.
+
+The output is a labelled latency breakdown matching Figure 15's stacked
+bars (GEMM / Reduction / Else / Embedding lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..npu.config import NPUConfig
+from ..npu.systolic import SystolicArrayModel, VectorUnitModel
+from ..workloads.embedding import MLPStack, RecSysModel
+from .multi_npu import ShardedModel, shard_model
+from .numa import HostRuntime, LinkModel, nvlink_link, pcie_link
+
+#: Transport selector for the embedding shuffle.
+TRANSPORTS = ("baseline", "numa_slow", "numa_fast")
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Figure 15's stacked components, in cycles."""
+
+    gemm: float
+    reduction: float
+    other: float
+    embedding: float
+
+    @property
+    def total(self) -> float:
+        return self.gemm + self.reduction + self.other + self.embedding
+
+    def normalized_to(self, reference: "LatencyBreakdown") -> Dict[str, float]:
+        """Each component as a fraction of ``reference``'s total."""
+        if reference.total <= 0:
+            raise ValueError("reference latency must be positive")
+        scale = reference.total
+        return {
+            "gemm": self.gemm / scale,
+            "reduction": self.reduction / scale,
+            "other": self.other / scale,
+            "embedding": self.embedding / scale,
+            "total": self.total / scale,
+        }
+
+
+@dataclass
+class RecSysSystem:
+    """A recsys model sharded over a multi-NPU system (Figure 5)."""
+
+    model: RecSysModel
+    n_npus: int = 4
+    config: NPUConfig = field(default_factory=NPUConfig)
+    host: HostRuntime = field(default_factory=HostRuntime)
+    #: Fixed framework overhead charged once per phase boundary.
+    framework_overhead_cycles: float = 2000.0
+
+    def __post_init__(self) -> None:
+        self.sharded: ShardedModel = shard_model(self.model, self.n_npus)
+        self._systolic = SystolicArrayModel(self.config)
+        self._vector = VectorUnitModel(self.config)
+
+    # ------------------------------------------------------------------ #
+    # phase models                                                       #
+    # ------------------------------------------------------------------ #
+
+    def local_gather_cycles(self, batch: int) -> float:
+        """Owner-side gather of the whole batch from local HBM.
+
+        Random vector reads pipelined against local memory (Table I
+        latency/bandwidth).
+        """
+        mem = self.config.memory
+        bytes_needed = self.sharded.lookup_bytes_per_npu(batch)
+        if bytes_needed == 0:
+            return 0.0
+        vectors = max(1, bytes_needed // max(1, self.model.tables[0].vector_bytes))
+        bandwidth_bound = bytes_needed / mem.bandwidth_bytes_per_cycle
+        latency_bound = vectors * mem.access_latency_cycles / 64.0
+        return mem.access_latency_cycles + max(bandwidth_bound, latency_bound)
+
+    def shuffle_cycles(self, batch: int, transport: str) -> float:
+        """The all-to-all exchange under the chosen transport."""
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        total_bytes = self.sharded.alltoall_total_bytes(batch)
+        if total_bytes == 0:
+            return 0.0
+        if transport == "baseline":
+            return self._cpu_bounce_cycles(total_bytes)
+        vector_bytes = self.model.tables[0].vector_bytes
+        n_requests = max(1, total_bytes // vector_bytes)
+        if transport == "numa_slow":
+            # PCIe remote loads: shallow outstanding-request queue (legacy
+            # host bridge) keeps fine-grained NUMA latency-exposed.
+            link = pcie_link(self.config.interconnect, fine_grained=True)
+            outstanding = 8
+        else:
+            link = nvlink_link(self.config.interconnect, fine_grained=True)
+            outstanding = 64
+        # One fine-grained pass, no CPU involvement: the destination NPUs
+        # pull their slices directly via remote (CC-NUMA) loads.  One
+        # framework overhead covers arming the gather kernel.
+        return self.framework_overhead_cycles + link.gather_cycles(
+            n_requests, vector_bytes, outstanding=outstanding
+        )
+
+    def _cpu_bounce_cycles(self, total_bytes: int) -> float:
+        """The MMU-less path: NPU→CPU then CPU→NPU, staged in host memory.
+
+        The data crosses PCIe twice and host memory twice; the CPU runtime
+        pays a submission overhead per transfer leg (one up-leg per owner,
+        one down-leg per destination).
+        """
+        link = pcie_link(self.config.interconnect, fine_grained=False)
+        bus = 2 * total_bytes / link.effective_bandwidth
+        staging = 2 * self.host.staging_copy_cycles(total_bytes)
+        # One up-leg per table-owning NPU, one down-leg per destination.
+        owners = sum(1 for shard in self.sharded.shards if shard.tables)
+        legs = owners + self.n_npus
+        overheads = legs * self.host.transfer_overhead_cycles
+        return link.latency_cycles + bus + staging + overheads
+
+    def mlp_cycles(self, mlp: MLPStack | None, batch_slice: int) -> float:
+        """A data-parallel MLP stack on one NPU's batch slice.
+
+        Each layer overlaps compute with streaming its weights from local
+        memory (double buffering), so a layer costs the max of the two.
+        """
+        if mlp is None:
+            return 0.0
+        mem = self.config.memory
+        total = 0.0
+        for in_w, out_w in mlp.layer_dims:
+            compute = self._systolic.gemm_cycles(max(1, batch_slice), in_w, out_w)
+            stream = (in_w * out_w * 4) / mem.bandwidth_bytes_per_cycle
+            total += max(compute, stream) + mem.access_latency_cycles
+        return total
+
+    def interaction_cycles(self, batch_slice: int) -> float:
+        """Feature interaction: pairwise dots (DLRM) or GMF product (NCF).
+
+        Multi-hot lookups are first sum-pooled per table, so the
+        interaction operates on one vector per table (+ the bottom-MLP
+        output for DLRM); the pooling reduction itself is also charged.
+        """
+        dim = self.model.tables[0].dim
+        pooling = self._vector.reduction_cycles(
+            batch_slice * self.model.lookups_per_sample * dim
+        )
+        vectors = len(self.model.tables) + (1 if self.model.bottom_mlp else 0)
+        if self.model.interaction == "dot":
+            pairs = vectors * (vectors - 1) // 2
+            elements = batch_slice * pairs * dim
+        else:
+            elements = batch_slice * dim
+        return pooling + self._vector.reduction_cycles(elements)
+
+    # ------------------------------------------------------------------ #
+    # end to end                                                         #
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, batch: int, transport: str) -> LatencyBreakdown:
+        """Latency breakdown of one inference batch (Figure 15 bar)."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        batch_slice = max(1, batch // self.n_npus)
+
+        embedding = (
+            self.local_gather_cycles(batch)
+            + self.shuffle_cycles(batch, transport)
+        )
+        gemm = self.mlp_cycles(self.model.bottom_mlp, batch_slice) + self.mlp_cycles(
+            self.model.top_mlp, batch_slice
+        )
+        reduction = self.interaction_cycles(batch_slice)
+        # Concats/activation plumbing plus per-phase framework overhead.
+        concat_bytes = batch_slice * self.model.gathered_bytes_per_sample()
+        other = (
+            3 * self.framework_overhead_cycles
+            + concat_bytes / self.config.memory.bandwidth_bytes_per_cycle
+        )
+        return LatencyBreakdown(
+            gemm=gemm, reduction=reduction, other=other, embedding=embedding
+        )
+
+    def compare_transports(self, batch: int) -> Dict[str, LatencyBreakdown]:
+        """All three Figure 15 bars for one batch size."""
+        return {t: self.run_batch(batch, t) for t in TRANSPORTS}

@@ -1,0 +1,35 @@
+"""DNN workload zoo: the paper's dense suite plus the sparse recsys models.
+
+Dense networks (Section II-C): CNN-1 (AlexNet), CNN-2 (GoogLeNet),
+CNN-3 (ResNet-50), RNN-1 (GEMV RNN), RNN-2/RNN-3 (LSTMs).  Sparse models
+(Section V): NCF and DLRM, defined in :mod:`repro.workloads.embedding`.
+"""
+
+from .cnn import Workload, alexnet, googlenet, resnet50
+from .layers import ConvLayer, DenseLayer, RecurrentLayer
+from .registry import (
+    DENSE_BATCHES,
+    DENSE_WORKLOADS,
+    common_layer_workload,
+    dense_suite,
+    dense_workload,
+)
+from .rnn import lstm_large, lstm_medium, vanilla_rnn
+
+__all__ = [
+    "DENSE_BATCHES",
+    "DENSE_WORKLOADS",
+    "ConvLayer",
+    "DenseLayer",
+    "RecurrentLayer",
+    "Workload",
+    "alexnet",
+    "common_layer_workload",
+    "dense_suite",
+    "dense_workload",
+    "googlenet",
+    "lstm_large",
+    "lstm_medium",
+    "resnet50",
+    "vanilla_rnn",
+]

@@ -1,0 +1,136 @@
+"""CNN workload definitions: AlexNet, GoogLeNet, ResNet-50.
+
+The paper denotes these CNN-1/CNN-2/CNN-3 (Section II-C): "they cover a
+wide range of filter and activation sizes".  Layer tables follow the
+original architectures; pooling/normalization layers are folded into the
+shape plumbing (they run on-chip and never dominate the memory phases
+the MMU study measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from .layers import ConvLayer, DenseLayer, RecurrentLayer
+
+DenseNetLayer = Union[ConvLayer, DenseLayer, RecurrentLayer]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named sequence of layers at a fixed batch size."""
+
+    name: str
+    batch: int
+    layers: tuple
+
+    @property
+    def layer_count(self) -> int:
+        return len(self.layers)
+
+    def total_weight_bytes(self, elem_bytes: int = 4) -> int:
+        """Model size (the dominant DMA traffic source for inference)."""
+        total = 0
+        for layer in self.layers:
+            shape = layer.tensor_shapes()["w"]
+            n = elem_bytes
+            for d in shape:
+                n *= d
+            total += n
+        return total
+
+
+def alexnet(batch: int = 1) -> Workload:
+    """CNN-1: AlexNet (single-tower variant)."""
+    layers: List[DenseNetLayer] = [
+        ConvLayer("conv1", batch, 227, 227, 3, 96, kernel=11, stride=4),
+        ConvLayer("conv2", batch, 27, 27, 96, 256, kernel=5, pad=2),
+        ConvLayer("conv3", batch, 13, 13, 256, 384, kernel=3, pad=1),
+        ConvLayer("conv4", batch, 13, 13, 384, 384, kernel=3, pad=1),
+        ConvLayer("conv5", batch, 13, 13, 384, 256, kernel=3, pad=1),
+        DenseLayer("fc6", batch, 9216, 4096),
+        DenseLayer("fc7", batch, 4096, 4096),
+        DenseLayer("fc8", batch, 4096, 1000),
+    ]
+    return Workload(name=f"alexnet_b{batch:02d}", batch=batch, layers=tuple(layers))
+
+
+#: GoogLeNet inception-module channel table:
+#: (name, spatial, in_c, #1x1, #3x3_reduce, #3x3, #5x5_reduce, #5x5, pool_proj)
+_INCEPTION = (
+    ("3a", 28, 192, 64, 96, 128, 16, 32, 32),
+    ("3b", 28, 256, 128, 128, 192, 32, 96, 64),
+    ("4a", 14, 480, 192, 96, 208, 16, 48, 64),
+    ("4b", 14, 512, 160, 112, 224, 24, 64, 64),
+    ("4c", 14, 512, 128, 128, 256, 24, 64, 64),
+    ("4d", 14, 512, 112, 144, 288, 32, 64, 64),
+    ("4e", 14, 528, 256, 160, 320, 32, 128, 128),
+    ("5a", 7, 832, 256, 160, 320, 32, 128, 128),
+    ("5b", 7, 832, 384, 192, 384, 48, 128, 128),
+)
+
+
+def googlenet(batch: int = 1) -> Workload:
+    """CNN-2: GoogLeNet (Inception v1), branches flattened to a layer list."""
+    layers: List[DenseNetLayer] = [
+        ConvLayer("conv1", batch, 224, 224, 3, 64, kernel=7, stride=2, pad=3),
+        ConvLayer("conv2_reduce", batch, 56, 56, 64, 64, kernel=1),
+        ConvLayer("conv2", batch, 56, 56, 64, 192, kernel=3, pad=1),
+    ]
+    for name, hw, in_c, n1, n3r, n3, n5r, n5, pp in _INCEPTION:
+        prefix = f"inc{name}"
+        layers.extend(
+            [
+                ConvLayer(f"{prefix}/1x1", batch, hw, hw, in_c, n1, kernel=1),
+                ConvLayer(f"{prefix}/3x3_reduce", batch, hw, hw, in_c, n3r, kernel=1),
+                ConvLayer(f"{prefix}/3x3", batch, hw, hw, n3r, n3, kernel=3, pad=1),
+                ConvLayer(f"{prefix}/5x5_reduce", batch, hw, hw, in_c, n5r, kernel=1),
+                ConvLayer(f"{prefix}/5x5", batch, hw, hw, n5r, n5, kernel=5, pad=2),
+                ConvLayer(f"{prefix}/pool_proj", batch, hw, hw, in_c, pp, kernel=1),
+            ]
+        )
+    layers.append(DenseLayer("fc", batch, 1024, 1000))
+    return Workload(name=f"googlenet_b{batch:02d}", batch=batch, layers=tuple(layers))
+
+
+#: ResNet-50 stage table: (stage, spatial_in, blocks, bottleneck_c, out_c).
+_RESNET50_STAGES = (
+    ("res2", 56, 3, 64, 256),
+    ("res3", 56, 4, 128, 512),
+    ("res4", 28, 6, 256, 1024),
+    ("res5", 14, 3, 512, 2048),
+)
+
+
+def resnet50(batch: int = 1) -> Workload:
+    """CNN-3: ResNet-50 (bottleneck blocks, projection shortcuts)."""
+    layers: List[DenseNetLayer] = [
+        ConvLayer("conv1", batch, 224, 224, 3, 64, kernel=7, stride=2, pad=3),
+    ]
+    in_c = 64
+    for stage, hw_in, blocks, mid_c, out_c in _RESNET50_STAGES:
+        for b in range(blocks):
+            # Stage entry (except res2, which follows max-pool) downsamples.
+            stride = 2 if (b == 0 and stage != "res2") else 1
+            hw = hw_in if b == 0 else hw_in // (2 if stage != "res2" else 1)
+            prefix = f"{stage}{chr(ord('a') + b)}"
+            layers.append(
+                ConvLayer(f"{prefix}/1x1a", batch, hw, hw, in_c, mid_c, kernel=1, stride=stride)
+            )
+            hw_mid = hw // stride
+            layers.append(
+                ConvLayer(f"{prefix}/3x3", batch, hw_mid, hw_mid, mid_c, mid_c, kernel=3, pad=1)
+            )
+            layers.append(
+                ConvLayer(f"{prefix}/1x1b", batch, hw_mid, hw_mid, mid_c, out_c, kernel=1)
+            )
+            if b == 0:
+                layers.append(
+                    ConvLayer(
+                        f"{prefix}/proj", batch, hw, hw, in_c, out_c, kernel=1, stride=stride
+                    )
+                )
+            in_c = out_c
+    layers.append(DenseLayer("fc", batch, 2048, 1000))
+    return Workload(name=f"resnet50_b{batch:02d}", batch=batch, layers=tuple(layers))

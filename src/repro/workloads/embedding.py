@@ -1,0 +1,209 @@
+"""Sparse embedding workloads: NCF and DLRM (Section III-A / V).
+
+Both recommendation models share the two-phase structure of Figure 4:
+
+1. an embedding *lookup* phase — "conceptually similar to a gather
+   operation with very low temporal and spatial locality" — over lookup
+   tables far larger than any single accelerator's memory;
+2. a dense DNN phase (MLPs plus a feature-interaction step).
+
+The paper uses MLPerf's NCF and Facebook's open-sourced DLRM.  We keep the
+published MLP stacks and embedding dimensions but synthesize table row
+counts at the memory-limited scale the paper motivates (hundreds of bytes
+per vector, multi-GB per table) — the access *pattern* (few-hundred-byte
+vectors, random rows, optional Zipfian popularity skew as observed in
+production recommendation traffic) is what drives translation/NUMA
+behaviour, not the table contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmbeddingTableSpec:
+    """One embedding lookup table."""
+
+    name: str
+    rows: int
+    dim: int
+    elem_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.dim <= 0 or self.elem_bytes <= 0:
+            raise ValueError(f"table {self.name!r} has non-positive geometry")
+
+    @property
+    def vector_bytes(self) -> int:
+        """Bytes per embedding vector — "only several hundreds of bytes"."""
+        return self.dim * self.elem_bytes
+
+    @property
+    def nbytes(self) -> int:
+        """Total table footprint."""
+        return self.rows * self.vector_bytes
+
+
+@dataclass(frozen=True)
+class MLPStack:
+    """A chain of fully-connected layers given as feature widths."""
+
+    name: str
+    widths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.widths) < 2:
+            raise ValueError(f"MLP {self.name!r} needs at least two widths")
+        if any(w <= 0 for w in self.widths):
+            raise ValueError(f"MLP {self.name!r} has non-positive widths")
+
+    @property
+    def layer_dims(self) -> List[Tuple[int, int]]:
+        """(in, out) pairs for each layer."""
+        return list(zip(self.widths[:-1], self.widths[1:]))
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total weight footprint at fp32."""
+        return sum(i * o * 4 for i, o in self.layer_dims)
+
+    def macs(self, batch: int) -> int:
+        """MACs for one forward pass at ``batch``."""
+        return sum(batch * i * o for i, o in self.layer_dims)
+
+
+@dataclass(frozen=True)
+class RecSysModel:
+    """A two-phase recommendation model (Figure 4 topology)."""
+
+    name: str
+    tables: Tuple[EmbeddingTableSpec, ...]
+    #: Lookups per sample per table (1 = one-hot ids, as in NCF/DLRM-RM1).
+    lookups_per_table: int
+    bottom_mlp: MLPStack | None
+    top_mlp: MLPStack
+    #: "dot" (DLRM pairwise feature interaction) or "elementwise" (NCF GMF).
+    interaction: str
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("a recsys model needs at least one table")
+        if self.interaction not in ("dot", "elementwise"):
+            raise ValueError(f"unknown interaction {self.interaction!r}")
+        if self.lookups_per_table <= 0:
+            raise ValueError("lookups_per_table must be positive")
+
+    @property
+    def embedding_bytes(self) -> int:
+        """Total embedding-table footprint across all tables."""
+        return sum(t.nbytes for t in self.tables)
+
+    @property
+    def lookups_per_sample(self) -> int:
+        """Embedding vectors gathered per inference sample."""
+        return len(self.tables) * self.lookups_per_table
+
+    def gathered_bytes_per_sample(self) -> int:
+        """Embedding bytes one sample needs."""
+        return sum(
+            t.vector_bytes * self.lookups_per_table for t in self.tables
+        )
+
+
+def ncf(embedding_dim: int = 64, rows: int = 8_000_000) -> RecSysModel:
+    """MLPerf's neural collaborative filtering model (He et al., WWW'17).
+
+    Two tables (users, items); the GMF branch takes an element-wise product
+    of the user and item vectors while the MLP branch runs the standard
+    [256, 256, 128, 64] tower on their concatenation (Figure 4).
+    """
+    tables = (
+        EmbeddingTableSpec("user", rows, embedding_dim),
+        EmbeddingTableSpec("item", rows, embedding_dim),
+    )
+    return RecSysModel(
+        name="NCF",
+        tables=tables,
+        lookups_per_table=1,
+        bottom_mlp=None,
+        top_mlp=MLPStack("ncf_mlp", (2 * embedding_dim, 256, 128, 64, 1)),
+        interaction="elementwise",
+    )
+
+
+def dlrm(
+    embedding_dim: int = 64,
+    n_tables: int = 8,
+    rows: int = 10_000_000,
+    lookups_per_table: int = 32,
+) -> RecSysModel:
+    """Facebook's deep learning recommendation model (Naumov et al., 2019).
+
+    Dense features go through a bottom MLP; sparse features gather
+    ``lookups_per_table`` vectors per table (production DLRM uses multi-hot
+    pooled lookups, tens per table — this is what makes the embedding
+    phase gather-bound); the feature-interaction step takes pairwise dot
+    products of the pooled vectors; a top MLP scores the result (Figure 5's
+    accelerator-centric parallelization operates on this model).
+    """
+    tables = tuple(
+        EmbeddingTableSpec(f"table{i}", rows, embedding_dim)
+        for i in range(n_tables)
+    )
+    # Multi-hot lookups are sum-pooled per table before interaction, so the
+    # interacting vector count stays n_tables (+1 for the bottom-MLP output).
+    n_vectors = n_tables + 1
+    interaction_width = n_vectors * (n_vectors - 1) // 2 + embedding_dim
+    return RecSysModel(
+        name="DLRM",
+        tables=tables,
+        lookups_per_table=lookups_per_table,
+        bottom_mlp=MLPStack("dlrm_bottom", (13, 512, 256, embedding_dim)),
+        top_mlp=MLPStack("dlrm_top", (interaction_width, 1024, 1024, 512, 256, 1)),
+        interaction="dot",
+    )
+
+
+class ZipfSampler:
+    """Deterministic bounded-Zipf row sampler.
+
+    Production recommendation traffic is popularity-skewed; a bounded Zipf
+    with exponent ``s`` captures that (s=0 degenerates to uniform — the
+    fully-random worst case of Figure 4's caption).  Sampling uses inverse
+    transform over the rank CDF, computed lazily per distinct (rows, s).
+    """
+
+    def __init__(self, s: float = 0.0, seed: int = 0):
+        if s < 0:
+            raise ValueError("zipf exponent cannot be negative")
+        self.s = s
+        self._rng = np.random.default_rng(seed)
+        self._cdf_cache: dict = {}
+
+    def sample(self, rows: int, count: int) -> np.ndarray:
+        """Draw ``count`` row indices from ``[0, rows)``."""
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.s == 0.0:
+            return self._rng.integers(0, rows, size=count, dtype=np.int64)
+        cdf = self._cdf_cache.get(rows)
+        if cdf is None:
+            # Rank popularity ∝ 1 / rank^s; permute ranks so hot rows are
+            # spread across the table (hot ids are not clustered in
+            # practice, which matters for page-granularity locality).
+            weights = 1.0 / np.power(np.arange(1, rows + 1, dtype=np.float64), self.s)
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf_cache[rows] = cdf
+        u = self._rng.random(count)
+        ranks = np.searchsorted(cdf, u, side="left")
+        # Deterministic rank->row scatter (multiplicative hash).
+        return (ranks * np.int64(2654435761)) % rows

@@ -1,0 +1,155 @@
+"""Layer shape definitions.
+
+Layers are pure shape records: they know their tensors (for virtual-memory
+allocation) and how to turn themselves into a tile schedule via the generic
+planners in :mod:`repro.npu.tiling`.  Numeric weight values never matter to
+translation behaviour, so none are stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..memory.layout import TensorLayout
+from ..npu.config import NPUConfig
+from ..npu.tiling import ConvGeometry, LayerSchedule, plan_conv, plan_gemm, plan_recurrent
+
+#: tensor role ("ia"/"w") -> logical shape, outermost dim first.
+TensorShapes = Dict[str, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolution (NHWC activations, FHWC filters)."""
+
+    name: str
+    batch: int
+    in_h: int
+    in_w: int
+    in_c: int
+    out_c: int
+    kernel: int
+    stride: int = 1
+    pad: int = 0
+
+    @property
+    def geometry(self) -> ConvGeometry:
+        return ConvGeometry(
+            batch=self.batch,
+            in_h=self.in_h,
+            in_w=self.in_w,
+            in_c=self.in_c,
+            out_c=self.out_c,
+            kernel=self.kernel,
+            stride=self.stride,
+            pad=self.pad,
+        )
+
+    def tensor_shapes(self) -> TensorShapes:
+        """Tensors the layer streams from DRAM."""
+        return {
+            "ia": (self.batch, self.in_h, self.in_w, self.in_c),
+            "w": (self.out_c, self.kernel, self.kernel, self.in_c),
+        }
+
+    def build_schedule(
+        self, config: NPUConfig, layouts: Dict[str, TensorLayout]
+    ) -> LayerSchedule:
+        """Tile schedule via the convolution planner."""
+        return plan_conv(self.name, self.geometry, layouts["ia"], layouts["w"], config)
+
+    @property
+    def out_h(self) -> int:
+        return self.geometry.out_h
+
+    @property
+    def out_w(self) -> int:
+        return self.geometry.out_w
+
+
+@dataclass(frozen=True)
+class DenseLayer:
+    """A fully-connected layer: (batch, in_features) × (in, out)."""
+
+    name: str
+    batch: int
+    in_features: int
+    out_features: int
+
+    def tensor_shapes(self) -> TensorShapes:
+        return {
+            "ia": (self.batch, self.in_features),
+            "w": (self.in_features, self.out_features),
+        }
+
+    def build_schedule(
+        self, config: NPUConfig, layouts: Dict[str, TensorLayout]
+    ) -> LayerSchedule:
+        return plan_gemm(
+            self.name,
+            m=self.batch,
+            k=self.in_features,
+            n=self.out_features,
+            ia_layout=layouts["ia"],
+            w_layout=layouts["w"],
+            config=config,
+        )
+
+
+@dataclass(frozen=True)
+class RecurrentLayer:
+    """A recurrent layer run over a sequence.
+
+    ``gates=1`` models a vanilla (GEMV-style) RNN cell; ``gates=4`` an LSTM
+    (input/forget/cell/output gates) — the two DeepBench flavours the paper
+    evaluates as RNN-1 vs RNN-2/RNN-3.
+    """
+
+    name: str
+    batch: int
+    input_size: int
+    hidden_size: int
+    seq_len: int
+    gates: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gates not in (1, 4):
+            raise ValueError(f"gates must be 1 (RNN) or 4 (LSTM), got {self.gates}")
+        if self.seq_len <= 0:
+            raise ValueError("sequence length must be positive")
+
+    @property
+    def gemm_k(self) -> int:
+        """Reduction dim of the per-timestep GEMM: x_t ⧺ h_{t-1}."""
+        return self.input_size + self.hidden_size
+
+    @property
+    def gemm_n(self) -> int:
+        """Output dim of the per-timestep GEMM (all gates fused)."""
+        return self.gates * self.hidden_size
+
+    def tensor_shapes(self) -> TensorShapes:
+        return {
+            "ia": (self.seq_len, self.batch, self.gemm_k),
+            "w": (self.gemm_k, self.gemm_n),
+        }
+
+    def build_schedule(
+        self, config: NPUConfig, layouts: Dict[str, TensorLayout]
+    ) -> LayerSchedule:
+        return plan_recurrent(
+            self.name,
+            batch=self.batch,
+            input_size=self.input_size,
+            hidden_size=self.hidden_size,
+            seq_len=self.seq_len,
+            gates=self.gates,
+            ia_layout=layouts["ia"],
+            w_layout=layouts["w"],
+            config=config,
+        )
+
+
+#: Every dense layer kind the planners understand.
+Layer = (ConvLayer, DenseLayer, RecurrentLayer)

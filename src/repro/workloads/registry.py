@@ -1,0 +1,76 @@
+"""Workload registry: the paper's benchmark names mapped to factories.
+
+Section II-C: CNN-1/2/3 are AlexNet/GoogLeNet/ResNet; RNN-1 is a GEMV-based
+RNN and RNN-2/3 are LSTMs (DeepBench).  Batch sizes b01/b04/b08 match the
+paper's inference study; Section VI-C's large-batch sensitivity uses 32/64/128
+on each network's *common layer* (see :func:`common_layer_workload`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .cnn import Workload, alexnet, googlenet, resnet50
+from .layers import ConvLayer, DenseLayer, RecurrentLayer
+from .rnn import lstm_large, lstm_medium, vanilla_rnn
+
+#: Paper benchmark id -> factory(batch) for the dense suite.
+DENSE_WORKLOADS: Dict[str, Callable[[int], Workload]] = {
+    "CNN-1": alexnet,
+    "CNN-2": googlenet,
+    "CNN-3": resnet50,
+    "RNN-1": vanilla_rnn,
+    "RNN-2": lstm_medium,
+    "RNN-3": lstm_large,
+}
+
+#: The batch sizes of the paper's main dense evaluation.
+DENSE_BATCHES = (1, 4, 8)
+
+
+def dense_workload(name: str, batch: int = 1) -> Workload:
+    """Instantiate a dense benchmark by its paper id (e.g. ``"CNN-1"``)."""
+    try:
+        factory = DENSE_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(DENSE_WORKLOADS)}"
+        ) from None
+    return factory(batch)
+
+
+def dense_suite(batches=DENSE_BATCHES) -> List[Workload]:
+    """Every (network, batch) combination of the paper's dense evaluation."""
+    return [
+        factory(batch)
+        for name, factory in DENSE_WORKLOADS.items()
+        for batch in batches
+    ]
+
+
+#: Representative "common layer" per network for the large-batch
+#: sensitivity study (Section VI-C), where full-network simulation at
+#: batch 32-128 is intractable — same methodology as the paper.
+_COMMON_LAYERS = {
+    "CNN-1": lambda b: ConvLayer("conv3", b, 13, 13, 256, 384, kernel=3, pad=1),
+    "CNN-2": lambda b: ConvLayer("inc4c/3x3", b, 14, 14, 128, 256, kernel=3, pad=1),
+    "CNN-3": lambda b: ConvLayer("res4x/3x3", b, 14, 14, 256, 256, kernel=3, pad=1),
+    "RNN-1": lambda b: RecurrentLayer("rnn", b, 2560, 2560, seq_len=10, gates=1),
+    "RNN-2": lambda b: RecurrentLayer("lstm", b, 1536, 1536, seq_len=10, gates=4),
+    "RNN-3": lambda b: RecurrentLayer("lstm", b, 2048, 2048, seq_len=10, gates=4),
+}
+
+
+def common_layer_workload(name: str, batch: int) -> Workload:
+    """A single-layer workload capturing each network's typical layer."""
+    try:
+        layer_factory = _COMMON_LAYERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(_COMMON_LAYERS)}"
+        ) from None
+    return Workload(
+        name=f"{name.lower()}_common_b{batch:02d}",
+        batch=batch,
+        layers=(layer_factory(batch),),
+    )

@@ -1,0 +1,54 @@
+"""RNN workload definitions (DeepBench-style).
+
+The paper evaluates "three RNNs from DeepBench, one regular GEMV (general
+matrix-vector multiplication) based RNN (RNN-1) and two LSTM based RNNs
+(RNN-2/RNN-3)" (Section II-C).  We use representative DeepBench inference
+geometries: large hidden dimensions whose per-timestep weight matrices far
+exceed the weight scratchpad, forcing weights to re-stream every timestep —
+the memory-phase-bound behaviour that makes RNNs the most
+translation-sensitive workloads in Figures 8-12.
+"""
+
+from __future__ import annotations
+
+from .cnn import Workload
+from .layers import RecurrentLayer
+
+
+def vanilla_rnn(batch: int = 1) -> Workload:
+    """RNN-1: a GEMV-style vanilla RNN (DeepBench h=2560 class)."""
+    layer = RecurrentLayer(
+        name="rnn",
+        batch=batch,
+        input_size=2560,
+        hidden_size=2560,
+        seq_len=50,
+        gates=1,
+    )
+    return Workload(name=f"rnn_b{batch:02d}", batch=batch, layers=(layer,))
+
+
+def lstm_medium(batch: int = 1) -> Workload:
+    """RNN-2: an LSTM with h=1536 over 50 timesteps (DeepBench class)."""
+    layer = RecurrentLayer(
+        name="lstm",
+        batch=batch,
+        input_size=1536,
+        hidden_size=1536,
+        seq_len=50,
+        gates=4,
+    )
+    return Workload(name=f"lstm1536_b{batch:02d}", batch=batch, layers=(layer,))
+
+
+def lstm_large(batch: int = 1) -> Workload:
+    """RNN-3: an LSTM with h=2048 over 96 timesteps (DeepBench class)."""
+    layer = RecurrentLayer(
+        name="lstm",
+        batch=batch,
+        input_size=2048,
+        hidden_size=2048,
+        seq_len=96,
+        gates=4,
+    )
+    return Workload(name=f"lstm2048_b{batch:02d}", batch=batch, layers=(layer,))

@@ -1,0 +1,215 @@
+"""Unit + property tests for repro.memory.address."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import (
+    ENTRIES_PER_NODE,
+    LEVEL_COVERAGE,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PAGE_TABLE_LEVELS,
+    VA_BITS,
+    AddressError,
+    Extent,
+    align_down,
+    align_up,
+    count_pages_in_range,
+    is_page_aligned,
+    join_indices,
+    page_base,
+    page_number,
+    page_offset,
+    page_offset_bits,
+    pages_in_range,
+    split_indices,
+    translation_path,
+)
+
+VA_MAX = (1 << VA_BITS) - 1
+vas = st.integers(min_value=0, max_value=VA_MAX)
+
+
+class TestConstants:
+    def test_four_levels(self):
+        assert PAGE_TABLE_LEVELS == 4
+
+    def test_node_fan_out(self):
+        assert ENTRIES_PER_NODE == 512
+
+    def test_level_coverage_ratios(self):
+        # 4 KB, 2 MB, 1 GB, 512 GB.
+        assert LEVEL_COVERAGE == (4096, 2 * 1024**2, 1024**3, 512 * 1024**3)
+
+
+class TestPageArithmetic:
+    def test_offset_bits(self):
+        assert page_offset_bits(PAGE_SIZE_4K) == 12
+        assert page_offset_bits(PAGE_SIZE_2M) == 21
+
+    def test_offset_bits_rejects_odd_sizes(self):
+        with pytest.raises(AddressError):
+            page_offset_bits(8192)
+
+    def test_page_number_4k(self):
+        assert page_number(0) == 0
+        assert page_number(4095) == 0
+        assert page_number(4096) == 1
+
+    def test_page_number_2m(self):
+        assert page_number(PAGE_SIZE_2M - 1, PAGE_SIZE_2M) == 0
+        assert page_number(PAGE_SIZE_2M, PAGE_SIZE_2M) == 1
+
+    def test_page_base_and_offset_recompose(self):
+        va = 0x1234_5678
+        assert page_base(va) + page_offset(va) == va
+
+    def test_is_page_aligned(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(8192)
+        assert not is_page_aligned(8193)
+        assert is_page_aligned(PAGE_SIZE_2M, PAGE_SIZE_2M)
+        assert not is_page_aligned(PAGE_SIZE_4K, PAGE_SIZE_2M)
+
+    @given(vas)
+    def test_page_base_is_aligned(self, va):
+        assert page_base(va) % PAGE_SIZE_4K == 0
+        assert page_base(va) <= va < page_base(va) + PAGE_SIZE_4K
+
+
+class TestAlignment:
+    def test_align_up_basic(self):
+        assert align_up(1, 4096) == 4096
+        assert align_up(4096, 4096) == 4096
+        assert align_up(0, 4096) == 0
+
+    def test_align_down_basic(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4095, 4096) == 0
+
+    def test_align_rejects_non_power_of_two(self):
+        with pytest.raises(AddressError):
+            align_up(10, 3000)
+        with pytest.raises(AddressError):
+            align_down(10, 0)
+
+    @given(vas, st.sampled_from([4096, 2**21, 256, 64]))
+    def test_align_up_properties(self, va, alignment):
+        result = align_up(va, alignment)
+        assert result >= va
+        assert result % alignment == 0
+        assert result - va < alignment
+
+
+class TestIndexSplit:
+    def test_zero(self):
+        assert split_indices(0) == (0, 0, 0, 0)
+
+    def test_known_value(self):
+        va = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0x123
+        assert split_indices(va) == (3, 5, 7, 9)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            split_indices(1 << VA_BITS)
+        with pytest.raises(AddressError):
+            split_indices(-1)
+
+    def test_join_rejects_bad_indices(self):
+        with pytest.raises(AddressError):
+            join_indices(512, 0, 0, 0)
+        with pytest.raises(AddressError):
+            join_indices(0, 0, 0, 0, offset=PAGE_SIZE_4K)
+
+    @given(vas)
+    def test_split_join_roundtrip(self, va):
+        l4, l3, l2, l1 = split_indices(va)
+        rebuilt = join_indices(l4, l3, l2, l1, page_offset(va))
+        assert rebuilt == va
+
+    @given(vas)
+    def test_translation_path_is_upper_indices(self, va):
+        assert translation_path(va) == split_indices(va)[:3]
+
+    @given(vas)
+    def test_same_2mb_region_shares_path(self, va):
+        # Any two VAs in the same 2 MB-aligned region share the TPreg tag.
+        buddy = align_down(va, PAGE_SIZE_2M) + (va + 1234) % PAGE_SIZE_2M
+        assert translation_path(va) == translation_path(buddy)
+
+
+class TestPagesInRange:
+    def test_empty_range(self):
+        assert list(pages_in_range(0, 0)) == []
+        assert count_pages_in_range(0, 0) == 0
+
+    def test_single_byte(self):
+        assert list(pages_in_range(5000, 1)) == [1]
+        assert count_pages_in_range(5000, 1) == 1
+
+    def test_straddling(self):
+        assert list(pages_in_range(4000, 200)) == [0, 1]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(AddressError):
+            count_pages_in_range(0, -1)
+
+    @given(st.integers(0, 2**30), st.integers(1, 2**20))
+    def test_count_matches_enumeration(self, va, length):
+        assert count_pages_in_range(va, length) == len(list(pages_in_range(va, length)))
+
+    @given(st.integers(0, 2**30), st.integers(1, 2**20))
+    def test_count_bounds(self, va, length):
+        count = count_pages_in_range(va, length)
+        lower = length // PAGE_SIZE_4K
+        upper = length // PAGE_SIZE_4K + 2
+        assert lower <= count <= upper
+
+
+class TestExtent:
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(AddressError):
+            Extent(0, 0)
+        with pytest.raises(AddressError):
+            Extent(0, -5)
+        with pytest.raises(AddressError):
+            Extent(-1, 5)
+
+    def test_end(self):
+        assert Extent(100, 50).end == 150
+
+    def test_split_at_pages_no_crossing(self):
+        pieces = list(Extent(4000, 5000).split_at_pages())
+        assert [(p.va, p.length) for p in pieces] == [
+            (4000, 96),
+            (4096, 4096),
+            (8192, 808),
+        ]
+
+    def test_split_transactions_respects_max(self):
+        pieces = list(Extent(0, 1000).split_transactions(256))
+        assert all(p.length <= 256 for p in pieces)
+        assert sum(p.length for p in pieces) == 1000
+
+    def test_split_transactions_rejects_bad_max(self):
+        with pytest.raises(AddressError):
+            list(Extent(0, 10).split_transactions(0))
+
+    @given(
+        st.integers(0, 2**24),
+        st.integers(1, 2**16),
+        st.sampled_from([64, 256, 1024, 4096]),
+    )
+    @settings(max_examples=200)
+    def test_split_transactions_invariants(self, va, length, max_bytes):
+        pieces = list(Extent(va, length).split_transactions(max_bytes))
+        # Exactly covers the extent, in order, no gaps or overlaps.
+        assert pieces[0].va == va
+        assert pieces[-1].end == va + length
+        for a, b in zip(pieces, pieces[1:]):
+            assert a.end == b.va
+        # Piece constraints: bounded size, never crosses a page boundary.
+        for p in pieces:
+            assert p.length <= max_bytes
+            assert page_number(p.va) == page_number(p.end - 1)

@@ -1,0 +1,116 @@
+"""Tests for frame/segment allocation and the shared address space."""
+
+import pytest
+
+from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K, AddressError
+from repro.memory.allocator import AddressSpace, FrameAllocator, OutOfMemory
+
+MB = 1024 * 1024
+
+
+class TestFrameAllocator:
+    def test_alloc_contiguous(self):
+        fa = FrameAllocator(16 * PAGE_SIZE_4K)
+        assert fa.alloc(4) == [0, 1, 2, 3]
+        assert fa.allocated_frames == 4
+        assert fa.free_frames == 12
+
+    def test_exhaustion_raises(self):
+        fa = FrameAllocator(4 * PAGE_SIZE_4K)
+        fa.alloc(4)
+        with pytest.raises(OutOfMemory):
+            fa.alloc(1)
+
+    def test_free_and_reuse(self):
+        fa = FrameAllocator(4 * PAGE_SIZE_4K)
+        frames = fa.alloc(4)
+        fa.free(frames[:2])
+        assert fa.free_frames == 2
+        reused = fa.alloc(2)
+        assert set(reused) == set(frames[:2])
+
+    def test_shuffled_policy_is_deterministic(self):
+        a = FrameAllocator(1024 * PAGE_SIZE_4K, policy="shuffled", seed=3)
+        b = FrameAllocator(1024 * PAGE_SIZE_4K, policy="shuffled", seed=3)
+        assert a.alloc(100) == b.alloc(100)
+
+    def test_shuffled_policy_permutes(self):
+        fa = FrameAllocator(1024 * PAGE_SIZE_4K, policy="shuffled", seed=3)
+        frames = fa.alloc(100)
+        assert sorted(frames) != frames  # overwhelmingly likely permuted
+        assert len(set(frames)) == 100
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(AddressError):
+            FrameAllocator(PAGE_SIZE_4K, policy="random")
+
+    def test_negative_alloc_rejected(self):
+        fa = FrameAllocator(PAGE_SIZE_4K)
+        with pytest.raises(AddressError):
+            fa.alloc(-1)
+
+
+class TestAddressSpace:
+    def test_segments_are_2mb_aligned_and_disjoint(self):
+        space = AddressSpace(memory_bytes=1024 * MB)
+        a = space.alloc_segment("a", 5 * MB)
+        b = space.alloc_segment("b", 3 * MB)
+        assert a.va % PAGE_SIZE_2M == 0
+        assert b.va % PAGE_SIZE_2M == 0
+        assert a.end <= b.va  # guard gap between segments
+
+    def test_segments_never_share_2mb_region(self):
+        space = AddressSpace(memory_bytes=1024 * MB)
+        a = space.alloc_segment("a", 1000)  # tiny
+        b = space.alloc_segment("b", 1000)
+        assert b.va // PAGE_SIZE_2M > (a.end - 1) // PAGE_SIZE_2M
+
+    def test_populated_segment_is_mapped(self):
+        space = AddressSpace(memory_bytes=64 * MB)
+        seg = space.alloc_segment("x", 1 * MB)
+        assert space.page_table.is_mapped(seg.va)
+        assert space.page_table.is_mapped(seg.end - 1)
+
+    def test_unpopulated_segment_faults(self):
+        space = AddressSpace(memory_bytes=64 * MB)
+        seg = space.alloc_segment("x", 1 * MB, populate=False)
+        assert not space.page_table.is_mapped(seg.va)
+
+    def test_touch_installs_mapping_once(self):
+        space = AddressSpace(memory_bytes=64 * MB)
+        seg = space.alloc_segment("x", 1 * MB, populate=False)
+        assert space.touch(seg.va + 100) is True
+        assert space.touch(seg.va + 200) is False  # same page already in
+        assert space.page_table.is_mapped(seg.va)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(memory_bytes=64 * MB)
+        space.alloc_segment("x", 1000)
+        with pytest.raises(AddressError):
+            space.alloc_segment("x", 1000)
+
+    def test_lookup_helpers(self):
+        space = AddressSpace(memory_bytes=64 * MB)
+        seg = space.alloc_segment("x", 1000)
+        assert space.segment("x") == seg
+        assert space.find_segment(seg.va + 10) == seg
+        assert space.find_segment(seg.va - 1) is None
+        with pytest.raises(AddressError):
+            space.segment("missing")
+
+    def test_footprint(self):
+        space = AddressSpace(memory_bytes=64 * MB)
+        space.alloc_segment("a", 1 * MB)
+        space.alloc_segment("b", 2 * MB)
+        assert space.footprint_bytes == 3 * MB
+
+    def test_2m_page_space(self):
+        space = AddressSpace(memory_bytes=64 * MB, page_size=PAGE_SIZE_2M)
+        seg = space.alloc_segment("x", 3 * MB)
+        walk = space.page_table.walk(seg.va)
+        assert walk.page_size == PAGE_SIZE_2M
+
+    def test_oversubscription_raises(self):
+        space = AddressSpace(memory_bytes=4 * MB)
+        with pytest.raises(OutOfMemory):
+            space.alloc_segment("big", 8 * MB)

@@ -1,0 +1,93 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import best_chart, render_bars, render_grouped
+from repro.analysis.figures import FigureResult
+
+
+def sample_fig():
+    fig = FigureResult("figX", "demo", columns=["perf", "energy"])
+    fig.add("CNN-1", perf=0.5, energy=2.0)
+    fig.add("RNN-1", perf=1.0, energy=4.0)
+    return fig
+
+
+class TestRenderBars:
+    def test_full_scale_bar(self):
+        text = render_bars(sample_fig(), "perf", width=10, max_value=1.0)
+        lines = text.splitlines()
+        assert "CNN-1" in lines[1]
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_auto_scale_uses_column_max(self):
+        text = render_bars(sample_fig(), "energy", width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 5  # 2.0 of max 4.0
+        assert lines[2].count("#") == 10
+
+    def test_values_printed(self):
+        text = render_bars(sample_fig(), "perf", max_value=1.0)
+        assert "0.5" in text and "1" in text
+
+    def test_empty_column_rejected(self):
+        fig = FigureResult("f", "t", columns=["a"])
+        with pytest.raises(ValueError):
+            render_bars(fig, "a")
+
+    def test_missing_cells_skipped(self):
+        fig = FigureResult("f", "t", columns=["a"])
+        fig.add("x", a=1.0)
+        fig.add("y")  # no value for a
+        text = render_bars(fig, "a")
+        assert "y" not in text
+
+    def test_zero_scale_degenerates_gracefully(self):
+        fig = FigureResult("f", "t", columns=["a"])
+        fig.add("x", a=0.0)
+        text = render_bars(fig, "a")
+        assert "#" not in text
+
+
+class TestRenderGrouped:
+    def test_one_bar_per_column(self):
+        text = render_grouped(sample_fig(), width=8)
+        body = "\n".join(text.splitlines()[1:])  # drop the header line
+        assert body.count("perf") == 2  # one labelled bar per row
+        assert body.count("energy") == 2
+
+    def test_shared_scale_across_columns(self):
+        text = render_grouped(sample_fig(), width=8)
+        # energy=4 is the global max: its bar is full width.
+        full = [l for l in text.splitlines() if l.count("#") == 8]
+        assert full
+
+    def test_rejects_empty(self):
+        fig = FigureResult("f", "t", columns=["a"])
+        with pytest.raises(ValueError):
+            render_grouped(fig)
+
+
+class TestBestChart:
+    def test_single_column_flat(self):
+        fig = FigureResult("f", "t", columns=["perf"])
+        fig.add("x", perf=0.25)
+        text = best_chart(fig, width=8)
+        assert text.count("#") == 2  # pinned 0..1 scale
+
+    def test_multi_column_grouped(self):
+        text = best_chart(sample_fig())
+        assert "perf" in text and "energy" in text
+
+    def test_rejects_empty_figure(self):
+        fig = FigureResult("f", "t", columns=["a"])
+        with pytest.raises(ValueError):
+            best_chart(fig)
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "overhead", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out

@@ -1,0 +1,57 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = _build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_batches(self):
+        args = _build_parser().parse_args(["run", "fig8", "--batches", "1", "4"])
+        assert args.experiment == "fig8"
+        assert args.batches == [1, 4]
+
+    def test_compare_command(self):
+        args = _build_parser().parse_args(["compare", "CNN-1", "--batch", "4"])
+        assert args.workload == "CNN-1"
+        assert args.batch == 4
+
+    def test_compare_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["compare", "CNN-9"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+
+class TestDispatch:
+    def test_list_prints_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "CNN-1" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_static_experiment(self, capsys, tmp_path):
+        assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline NPU configuration" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_run_overhead(self, capsys):
+        assert main(["run", "overhead"]) == 0
+        assert "PRMB" in capsys.readouterr().out
+
+    def test_experiment_registry_covers_all_figures(self):
+        for fig in ("fig6", "fig7", "fig8", "fig10", "fig11", "fig12a",
+                    "fig12b", "fig13", "fig14", "fig15", "fig16"):
+            assert fig in EXPERIMENTS

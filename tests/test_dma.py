@@ -1,0 +1,162 @@
+"""Tests for the DMA engine: transaction splitting and page divergence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import PAGE_SIZE_4K, Extent, page_number
+from repro.memory.layout import TensorLayout
+from repro.npu.config import NPUConfig
+from repro.npu.dma import (
+    DMAEngine,
+    FetchSpec,
+    PageDivergence,
+    distinct_pages,
+    page_divergence_of_fetches,
+)
+
+
+def fetch_2d(rows, cols, elem=4, base=0x10_0000_0000, starts=(0, 0), sizes=None):
+    layout = TensorLayout("t", base, (rows, cols), elem)
+    sizes = sizes or (rows, cols)
+    return FetchSpec("w", layout, starts, sizes)
+
+
+class TestTransactions:
+    def test_cover_fetch_exactly(self):
+        dma = DMAEngine(NPUConfig(dma_transaction_bytes=256))
+        fetch = fetch_2d(8, 1024)
+        txs = dma.transactions(fetch)
+        assert sum(size for _, size in txs) == fetch.nbytes
+        # In order, no gaps within the contiguous region.
+        for (va_a, sz_a), (va_b, _) in zip(txs, txs[1:]):
+            assert va_a + sz_a == va_b
+
+    def test_max_size_respected(self):
+        dma = DMAEngine(NPUConfig(dma_transaction_bytes=256))
+        txs = dma.transactions(fetch_2d(4, 1024))
+        assert all(size <= 256 for _, size in txs)
+
+    def test_never_cross_page_boundary(self):
+        dma = DMAEngine(NPUConfig(dma_transaction_bytes=1024))
+        # Base offset 3000 into a page forces a straddle without splitting.
+        txs = dma.transactions(fetch_2d(4, 2048, base=0x10_0000_0000 + 3000))
+        for va, size in txs:
+            assert page_number(va) == page_number(va + size - 1)
+
+    def test_strided_tile_many_transactions(self):
+        dma = DMAEngine(NPUConfig(dma_transaction_bytes=1024))
+        # A column slice of a wide matrix: one transaction per row.
+        fetch = fetch_2d(128, 4096, starts=(0, 0), sizes=(128, 64))
+        txs = dma.transactions(fetch)
+        assert len(txs) == 128
+        assert all(size == 64 * 4 for _, size in txs)
+
+    def test_transaction_count_helper(self):
+        dma = DMAEngine()
+        fetch = fetch_2d(16, 256)
+        assert dma.transaction_count(fetch) == len(dma.transactions(fetch))
+
+    def test_multi_mb_tile_yields_thousands(self):
+        """Section III-C: a multi-MB tile decomposes into thousands of
+        translations — the burst the whole paper is about."""
+        dma = DMAEngine(NPUConfig(dma_transaction_bytes=256))
+        fetch = fetch_2d(1280, 1024)  # 5 MB
+        assert dma.transaction_count(fetch) >= 5 * 1024 * 1024 // 256
+
+    @given(
+        st.integers(1, 64),
+        st.integers(1, 2048),
+        st.sampled_from([64, 256, 1024]),
+        st.integers(0, PAGE_SIZE_4K - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_split_invariants(self, rows, cols, tx_bytes, page_offset):
+        dma = DMAEngine(NPUConfig(dma_transaction_bytes=tx_bytes))
+        fetch = fetch_2d(rows, cols, base=0x10_0000_0000 + page_offset)
+        txs = dma.transactions(fetch)
+        assert sum(s for _, s in txs) == fetch.nbytes
+        for va, size in txs:
+            assert size <= tx_bytes
+            assert page_number(va) == page_number(va + size - 1)
+
+
+class TestSignature:
+    def test_excludes_position_and_name(self):
+        a = FetchSpec("w", TensorLayout("layer1.w", 0, (64, 64), 4), (0, 0), (8, 64))
+        b = FetchSpec("w", TensorLayout("layer9.w", 4096, (64, 64), 4), (8, 0), (8, 64))
+        assert a.signature == b.signature
+
+    def test_distinguishes_shape(self):
+        a = fetch_2d(8, 64)
+        b = fetch_2d(8, 128)
+        assert a.signature != b.signature
+
+    def test_distinguishes_stream(self):
+        layout = TensorLayout("t", 0, (8, 8), 4)
+        a = FetchSpec("ia", layout, (0, 0), (8, 8))
+        b = FetchSpec("w", layout, (0, 0), (8, 8))
+        assert a.signature != b.signature
+
+
+class TestDistinctPages:
+    def test_empty(self):
+        assert distinct_pages([]) == 0
+
+    def test_single_extent(self):
+        assert distinct_pages([Extent(0, PAGE_SIZE_4K * 3)]) == 3
+        assert distinct_pages([Extent(100, 10)]) == 1
+
+    def test_adjacent_extents_share_page(self):
+        extents = [Extent(0, 100), Extent(100, 100)]
+        assert distinct_pages(extents) == 1
+
+    def test_unsorted_input(self):
+        extents = [Extent(PAGE_SIZE_4K * 5, 10), Extent(0, 10)]
+        assert distinct_pages(extents) == 2
+
+    def test_overlapping_extents_not_double_counted(self):
+        extents = [Extent(0, PAGE_SIZE_4K * 2), Extent(PAGE_SIZE_4K, PAGE_SIZE_4K * 2)]
+        assert distinct_pages(extents) == 3
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200_000), st.integers(1, 20_000)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_property_matches_bruteforce(self, raw):
+        extents = [Extent(va, ln) for va, ln in raw]
+        pages = set()
+        for e in extents:
+            pages.update(
+                range(page_number(e.va), page_number(e.end - 1) + 1)
+            )
+        assert distinct_pages(extents) == len(pages)
+
+
+class TestPageDivergence:
+    def test_from_counts(self):
+        d = PageDivergence.from_counts([10, 20, 30])
+        assert d.max_pages == 30
+        assert d.mean_pages == pytest.approx(20.0)
+        assert d.fetches == 3
+
+    def test_empty(self):
+        d = PageDivergence.from_counts([])
+        assert d.max_pages == 0
+        assert d.fetches == 0
+
+    def test_of_fetches(self):
+        fetches = [fetch_2d(1, 1024), fetch_2d(4, 1024)]
+        d = page_divergence_of_fetches(fetches)
+        assert d.fetches == 2
+        assert d.max_pages >= d.mean_pages
+
+    def test_multi_mb_tile_exceeds_1k_pages(self):
+        """Section III-C: a 5 MB tile touches ≥1.2K distinct 4 KB pages."""
+        fetch = fetch_2d(1280, 1024)  # 5 MB dense
+        d = page_divergence_of_fetches([fetch])
+        assert d.max_pages >= 1280

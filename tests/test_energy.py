@@ -1,0 +1,103 @@
+"""Tests for energy tables, CACTI-style estimates, and accounting."""
+
+import pytest
+
+from repro.core.stats import RunSummary
+from repro.energy.accounting import EnergyBreakdown, energy_ratio, translation_energy
+from repro.energy.cacti import estimate_sram, neummu_overhead
+from repro.energy.tables import DEFAULT_ENERGY_TABLE, EnergyTable
+
+
+def summary(requests=100, tlb_hits=20, merges=30, walks=50, accesses=200, skipped=0):
+    return RunSummary(
+        requests=requests,
+        tlb_hits=tlb_hits,
+        tlb_hit_rate=tlb_hits / requests if requests else 0,
+        merges=merges,
+        walks=walks,
+        redundant_walks=0,
+        walk_level_accesses=accesses,
+        walk_levels_skipped=skipped,
+        stall_events=0,
+        stall_cycles=0.0,
+        faults=0,
+        tpreg_l4_rate=0.0,
+        tpreg_l3_rate=0.0,
+        tpreg_l2_rate=0.0,
+    )
+
+
+class TestEnergyTable:
+    def test_dram_dominates_sram(self):
+        t = DEFAULT_ENERGY_TABLE
+        assert t.dram_access_pj > 100 * t.tlb_access_pj
+        assert t.tlb_access_pj > t.tpreg_access_pj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyTable(dram_access_pj=-1)
+
+
+class TestAccounting:
+    def test_walk_dram_term(self):
+        breakdown = translation_energy(summary(accesses=200))
+        assert breakdown.walk_dram_pj == 200 * DEFAULT_ENERGY_TABLE.dram_access_pj
+
+    def test_total_is_sum(self):
+        b = translation_energy(summary())
+        assert b.total_pj == pytest.approx(
+            b.walk_dram_pj + b.tlb_pj + b.pts_pj + b.prmb_pj + b.path_cache_pj
+        )
+        assert b.total_uj == pytest.approx(b.total_pj / 1e6)
+
+    def test_fewer_walk_accesses_less_energy(self):
+        many = translation_energy(summary(accesses=400))
+        few = translation_energy(summary(accesses=100))
+        assert few.total_pj < many.total_pj
+
+    def test_energy_ratio(self):
+        baseline = translation_energy(summary(accesses=800))
+        candidate = translation_energy(summary(accesses=100))
+        assert energy_ratio(baseline, candidate) > 1.0
+
+    def test_ratio_rejects_zero(self):
+        zero = EnergyBreakdown(0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            energy_ratio(zero, zero)
+
+
+class TestCacti:
+    def test_paper_calibration_point(self):
+        """Section IV-E: 32 KB PRMB + 2 KB TPreg + 768 B PTS ⇒ ~0.10 mm²,
+        ~13.65 mW at 32 nm."""
+        overhead = neummu_overhead()
+        assert overhead.prmb.capacity_bytes == 32 * 1024
+        assert overhead.tpreg.capacity_bytes == 2 * 1024
+        assert overhead.pts.capacity_bytes == 768
+        assert overhead.total.area_mm2 == pytest.approx(0.10, rel=0.1)
+        assert overhead.total.leakage_mw == pytest.approx(13.65, rel=0.1)
+
+    def test_area_scales_with_capacity(self):
+        small = estimate_sram(1024)
+        big = estimate_sram(64 * 1024)
+        assert big.area_mm2 > small.area_mm2 * 10
+
+    def test_node_scaling(self):
+        at32 = estimate_sram(32 * 1024, node_nm=32)
+        at45 = estimate_sram(32 * 1024, node_nm=45)
+        assert at45.area_mm2 > at32.area_mm2
+        assert at45.leakage_mw > at32.leakage_mw
+
+    def test_estimates_add(self):
+        total = estimate_sram(1024) + estimate_sram(2048)
+        assert total.capacity_bytes == 3072
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_sram(0)
+        with pytest.raises(ValueError):
+            estimate_sram(100, node_nm=0)
+
+    def test_custom_geometry(self):
+        overhead = neummu_overhead(n_walkers=8, prmb_slots=4)
+        assert overhead.prmb.capacity_bytes == 8 * 4 * 8

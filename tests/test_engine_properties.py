@@ -1,0 +1,125 @@
+"""Property-based tests on translation-engine invariants.
+
+Hypothesis generates random transaction streams; the invariants are the
+ones every paper figure implicitly relies on:
+
+* the oracle lower-bounds every real MMU configuration,
+* adding translation resources (walkers, merge slots) never slows a burst,
+* per-burst accounting is self-consistent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import TranslationEngine
+from repro.core.mmu import MMU, MMUConfig, oracle_config
+from repro.memory.address import PAGE_SIZE_4K
+from repro.memory.dram import MainMemory
+from repro.memory.page_table import PageTable
+
+BASE = 0x7F00_0000_0000
+N_PAGES = 64
+
+
+def shared_table():
+    pt = PageTable()
+    pt.map_range(BASE, N_PAGES * PAGE_SIZE_4K, first_pfn=10)
+    return pt
+
+
+def burst_from(page_seq, size=256):
+    """One transaction per (page, offset-slot) pair, in sequence order."""
+    txs = []
+    counters = {}
+    for page in page_seq:
+        slot = counters.get(page, 0)
+        counters[page] = (slot + 1) % (PAGE_SIZE_4K // size)
+        txs.append((BASE + page * PAGE_SIZE_4K + slot * size, size))
+    return txs
+
+
+def run(config, txs):
+    engine = TranslationEngine(MMU(config, shared_table()), MainMemory())
+    result = engine.run_burst(txs, 0.0)
+    return result
+
+
+page_seqs = st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=120)
+
+
+@given(page_seqs)
+@settings(max_examples=40, deadline=None)
+def test_oracle_lower_bounds_all_configs(pages):
+    txs = burst_from(pages)
+    oracle = run(oracle_config(), txs)
+    for config in (
+        MMUConfig(name="iommu", n_walkers=8),
+        MMUConfig(name="neummu", n_walkers=128, prmb_slots=32, path_cache="tpreg"),
+    ):
+        candidate = run(config, txs)
+        assert candidate.data_end_cycle >= oracle.data_end_cycle - 1e-6
+
+
+@given(page_seqs)
+@settings(max_examples=30, deadline=None)
+def test_more_walkers_never_slower(pages):
+    txs = burst_from(pages)
+    few = run(MMUConfig(name="w8", n_walkers=8, prmb_slots=4), txs)
+    many = run(MMUConfig(name="w64", n_walkers=64, prmb_slots=4), txs)
+    assert many.data_end_cycle <= few.data_end_cycle + 1e-6
+
+
+@given(page_seqs)
+@settings(max_examples=30, deadline=None)
+def test_more_merge_slots_never_slower(pages):
+    txs = burst_from(pages)
+    few = run(MMUConfig(name="s1", n_walkers=8, prmb_slots=1), txs)
+    many = run(MMUConfig(name="s32", n_walkers=8, prmb_slots=32), txs)
+    assert many.data_end_cycle <= few.data_end_cycle + 1e-6
+
+
+@given(page_seqs)
+@settings(max_examples=30, deadline=None)
+def test_accounting_consistency(pages):
+    txs = burst_from(pages)
+    config = MMUConfig(name="x", n_walkers=4, prmb_slots=2)
+    mmu = MMU(config, shared_table())
+    engine = TranslationEngine(mmu, MainMemory())
+    result = engine.run_burst(txs, 0.0)
+    mmu.drain()
+    summary = mmu.summary()
+    # Every transaction translated exactly once.
+    assert summary.requests == len(txs)
+    # Each request resolved via exactly one of: TLB hit, merge, walk-start.
+    resolved = summary.tlb_hits + summary.merges + summary.walks
+    assert resolved == summary.requests
+    # Byte accounting matches.
+    assert result.bytes_moved == sum(size for _, size in txs)
+    # Issue port: one transaction per cycle plus stalls.
+    assert result.issue_end_cycle == pytest.approx(len(txs) + result.stall_cycles)
+
+
+@given(page_seqs)
+@settings(max_examples=30, deadline=None)
+def test_walk_levels_bounded(pages):
+    txs = burst_from(pages)
+    config = MMUConfig(name="x", n_walkers=16, prmb_slots=8, path_cache="tpreg")
+    mmu = MMU(config, shared_table())
+    TranslationEngine(mmu, MainMemory()).run_burst(txs, 0.0)
+    mmu.drain()
+    summary = mmu.summary()
+    # Accesses + skips exactly account for every walk's four levels, and
+    # the leaf is never skipped.
+    assert summary.walk_level_accesses + summary.walk_levels_skipped == 4 * summary.walks
+    assert summary.walk_level_accesses >= summary.walks
+
+
+@given(page_seqs, st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_oracle_timing_independent_of_mmu_knobs(pages, walkers):
+    """Oracle ignores walker/merge configuration entirely."""
+    txs = burst_from(pages)
+    a = run(oracle_config(), txs)
+    b = run(oracle_config(), txs)
+    assert a.data_end_cycle == b.data_end_cycle

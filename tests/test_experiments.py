@@ -1,0 +1,160 @@
+"""Smoke + shape tests for the per-figure experiment harness.
+
+Full-scale experiments live in benchmarks/; here each entry point runs on
+a trimmed grid and its *shape* assertions (the paper's qualitative claims)
+are checked.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRunner,
+    dense_pairs,
+    fig6_page_divergence,
+    fig7_translation_bursts,
+    fig8_baseline_iommu,
+    fig10_prmb_sweep,
+    fig11_ptw_sweep,
+    fig12a_ptw_no_prmb,
+    fig12b_energy_sweep,
+    fig13_tpreg_hit_rates,
+    fig14_va_trace,
+    fig15_numa,
+    fig16_demand_paging,
+    headline_claims,
+    large_pages_dense,
+    overhead_area,
+    sensitivity_tlb,
+    table1_config,
+)
+from repro.sparse.demand_paging import DemandPagingConfig
+
+B1 = (1,)
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """Shared runner so oracle runs are computed once per workload."""
+    return ExperimentRunner()
+
+
+class TestStaticFigures:
+    def test_table1_values(self):
+        fig = table1_config()
+        assert fig.value("memory bandwidth (GB/s)", "value") == 600
+        assert fig.value("IOMMU walkers", "value") == 8
+
+    def test_overhead_matches_paper(self):
+        fig = overhead_area()
+        assert fig.value("PRMB", "kb") == 32.0
+        assert fig.value("TPreg", "kb") == 2.0
+        assert fig.value("total", "area_mm2") == pytest.approx(0.10, rel=0.1)
+
+    def test_dense_pairs_grid(self):
+        assert len(dense_pairs((1,))) == 6
+        assert len(dense_pairs((1, 8))) == 12
+
+
+class TestCharacterization:
+    def test_fig6_divergence_scale(self):
+        fig = fig6_page_divergence(batches=B1)
+        # Section III-C: multi-MB tiles touch >1K distinct pages.
+        assert max(fig.column("max_pages")) > 1000
+        assert all(m >= a for m, a in zip(fig.column("max_pages"), fig.column("avg_pages")))
+
+    def test_fig7_bursts_saturate_issue_port(self):
+        fig = fig7_translation_bursts(workloads=("RNN-1",), batch=1)
+        assert fig.value("RNN-1/b01", "peak") == 1000
+        assert fig.value("RNN-1/b01", "full_rate_frac") > 0.5
+
+    def test_fig14_trace_ascends_within_stream(self):
+        fig = fig14_va_trace(max_rows=10)
+        assert fig.rows
+        w_rows = [r for r in fig.rows if r.label.startswith("w@")]
+        starts = [r.values["va_lo_mb"] for r in w_rows[:3]]
+        assert starts == sorted(starts)
+
+
+class TestDenseResults:
+    def test_fig8_iommu_loss(self, runner):
+        fig = fig8_baseline_iommu(batches=B1, runner=runner)
+        # Paper: ~95% average overhead.
+        assert fig.mean("normalized_perf") < 0.25
+
+    def test_fig10_prmb_monotone(self, runner):
+        fig = fig10_prmb_sweep(slots=(1, 8, 32), batches=B1, runner=runner)
+        assert fig.mean("prmb1") <= fig.mean("prmb8") + 0.01
+        assert fig.mean("prmb8") <= fig.mean("prmb32") + 0.01
+
+    def test_fig11_128_walkers_near_oracle(self, runner):
+        fig = fig11_ptw_sweep(ptws=(8, 128), batches=B1, runner=runner)
+        assert fig.mean("ptw128") > 0.95
+        assert fig.mean("ptw8") < fig.mean("ptw128")
+
+    def test_fig12a_needs_many_walkers_without_prmb(self, runner):
+        fig = fig12a_ptw_no_prmb(ptws=(128, 1024), batches=B1, runner=runner)
+        # Without merging, 128 walkers are NOT enough...
+        assert fig.mean("ptw128") < 0.9
+        # ...but 1024 get there (paper Figure 12a).
+        assert fig.mean("ptw1024") > 0.9
+
+    def test_fig12b_energy_grows_without_merging(self, runner):
+        fig = fig12b_energy_sweep(
+            pairs=((32, 128), (1, 4096)), batches=B1, runner=runner
+        )
+        nominal = fig.value("[32,128]", "normalized_energy")
+        no_merge = fig.value("[1,4096]", "normalized_energy")
+        # Paper: up to ~7.1x more energy without PRMB filtering.
+        assert no_merge > 3 * nominal
+        assert fig.value("[1,4096]", "normalized_perf") > 0.9
+
+    def test_fig13_hit_rates_match_paper_bands(self, runner):
+        fig = fig13_tpreg_hit_rates(batches=B1, runner=runner)
+        assert fig.mean("l4") > 0.95
+        assert fig.mean("l3") > 0.95
+        assert 0.2 < fig.mean("l2") < 0.95
+
+    def test_headline_claims(self, runner):
+        fig = headline_claims(batches=B1, runner=runner)
+        assert fig.mean("neummu_perf") > 0.97
+        assert fig.mean("iommu_perf") < 0.25
+        assert fig.mean("energy_ratio") > 3.0
+        assert fig.mean("walk_access_ratio") > 3.0
+
+    def test_large_pages_fix_dense_iommu(self, runner):
+        fig = large_pages_dense(batches=B1, runner=runner)
+        assert fig.mean("iommu_2m") > 0.85
+        assert fig.mean("iommu_2m") > fig.mean("iommu_4k") + 0.3
+        assert fig.mean("neummu_2m") > 0.95
+
+    def test_sensitivity_tlb_barely_helps(self, runner):
+        fig = sensitivity_tlb(entries_sweep=(128, 2048), batches=B1, runner=runner)
+        small = fig.mean("tlb128")
+        big = fig.mean("tlb2048")
+        # Section III-C: TLB capacity is not the bottleneck.
+        assert abs(big - small) < 0.05
+
+
+class TestSparseResults:
+    def test_fig15_numa_orderings(self):
+        fig = fig15_numa(batches=(8,))
+        for model in ("NCF", "DLRM"):
+            base = fig.value(f"{model}/b08/baseline", "total")
+            slow = fig.value(f"{model}/b08/numa_slow", "total")
+            fast = fig.value(f"{model}/b08/numa_fast", "total")
+            assert base == pytest.approx(1.0)
+            assert fast <= slow <= base
+
+    def test_fig16_shapes(self):
+        system = DemandPagingConfig(
+            batches=10, warm_batches=4, table_rows=200_000,
+            local_budget_bytes=48 * MB,
+        )
+        fig = fig16_demand_paging(batches=(8,), system=system)
+        neummu_4k = fig.value("DLRM/b08/neummu/4K", "normalized_perf")
+        iommu_4k = fig.value("DLRM/b08/iommu/4K", "normalized_perf")
+        neummu_2m = fig.value("DLRM/b08/neummu/2M", "normalized_perf")
+        assert neummu_4k > 0.85
+        assert iommu_4k < 0.6
+        assert neummu_2m < 0.5

@@ -1,0 +1,177 @@
+"""Tests for the extension features: two-level TLB and translation prefetch."""
+
+import pytest
+
+from repro.core.mmu import MMU, MMUConfig, baseline_iommu_config
+from repro.core.prefetch import NextPagePrefetcher, PrefetchStats
+from repro.core.tlb import TwoLevelTLB
+from repro.memory.address import PAGE_SIZE_4K
+from repro.memory.page_table import PageTable
+from repro.npu.simulator import run_workload
+from tests.test_simulator import tiny_cnn
+
+BASE = 0x7F00_0000_0000
+
+
+def make_table(n_pages=128):
+    pt = PageTable()
+    pt.map_range(BASE, n_pages * PAGE_SIZE_4K, first_pfn=1000)
+    return pt
+
+
+def vpn_at(index):
+    return (BASE >> 12) + index
+
+
+class TestTwoLevelTLB:
+    def test_l1_hit_is_fast(self):
+        tlb = TwoLevelTLB(l1_entries=2, l2_entries=8, l1_latency=1, l2_latency=5)
+        tlb.insert(1, 11)
+        pfn, latency = tlb.lookup(1)
+        assert pfn == 11
+        assert latency == 1
+
+    def test_l2_hit_promotes_to_l1(self):
+        tlb = TwoLevelTLB(l1_entries=1, l2_entries=8)
+        tlb.insert(1, 11)
+        tlb.insert(2, 22)  # evicts 1 from the 1-entry L1, stays in L2
+        pfn, latency = tlb.lookup(1)
+        assert pfn == 11
+        assert latency == 1 + 5  # came from L2
+        pfn, latency = tlb.lookup(1)
+        assert latency == 1  # now promoted
+
+    def test_miss_costs_both_probes(self):
+        tlb = TwoLevelTLB()
+        pfn, latency = tlb.lookup(99)
+        assert pfn is None
+        assert latency == 6
+
+    def test_invalidate_both_levels(self):
+        tlb = TwoLevelTLB()
+        tlb.insert(1, 11)
+        assert tlb.invalidate(1)
+        assert not tlb.contains(1)
+        assert not tlb.invalidate(1)
+
+    def test_hierarchy_hit_rate(self):
+        tlb = TwoLevelTLB()
+        tlb.insert(1, 11)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_flush(self):
+        tlb = TwoLevelTLB()
+        tlb.insert(1, 11)
+        tlb.flush()
+        assert not tlb.contains(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelTLB(l1_latency=-1)
+
+    def test_mmu_integration(self):
+        config = MMUConfig(n_walkers=8, l1_tlb_entries=64)
+        mmu = MMU(config, make_table())
+        ready, _ = mmu.translate(vpn_at(0), 0.0)
+        mmu.process_completions(ready)
+        hit, _ = mmu.translate(vpn_at(0), ready)
+        assert hit - ready == pytest.approx(1.0)  # L1 latency
+        hit2, _ = mmu.translate(vpn_at(0), hit)
+        assert hit2 - hit == pytest.approx(1.0)
+
+    def test_two_level_does_not_fix_iommu(self):
+        """Section III-C: TLB hierarchy is not the bottleneck."""
+        plain = run_workload(tiny_cnn(), baseline_iommu_config())
+        fancy = run_workload(
+            tiny_cnn(), MMUConfig(name="ml", n_walkers=8, l1_tlb_entries=64)
+        )
+        # Within a few percent of each other: no rescue.
+        assert fancy.total_cycles == pytest.approx(plain.total_cycles, rel=0.1)
+
+
+class TestPrefetcherUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NextPagePrefetcher(depth=0)
+        with pytest.raises(ValueError):
+            NextPagePrefetcher(depth=1, reserve=-1)
+
+    def test_accuracy_math(self):
+        stats = PrefetchStats(issued=4, useful=3)
+        assert stats.accuracy == pytest.approx(0.75)
+        assert PrefetchStats().accuracy == 0.0
+
+    def test_issues_next_page_walk(self):
+        config = MMUConfig(n_walkers=8, prefetch_depth=1)
+        mmu = MMU(config, make_table())
+        mmu.translate(vpn_at(0), 0.0)
+        # Demand walk for page 0 plus a speculative walk for page 1.
+        assert mmu.pool.stats.walks == 2
+        assert mmu.prefetcher.stats.issued == 1
+        assert mmu.pts.peek(vpn_at(1)) is not None
+
+    def test_prefetch_hit_counts_useful(self):
+        config = MMUConfig(n_walkers=8, prefetch_depth=1)
+        mmu = MMU(config, make_table())
+        ready, _ = mmu.translate(vpn_at(0), 0.0)
+        mmu.process_completions(ready + 1)
+        mmu.translate(vpn_at(1), ready + 1)  # TLB hit from the prefetch
+        assert mmu.prefetcher.stats.useful == 1
+        assert mmu.stats.tlb_hits == 1
+
+    def test_reserve_keeps_walkers_for_demand(self):
+        config = MMUConfig(n_walkers=2, prefetch_depth=4)
+        mmu = MMU(config, make_table())
+        mmu.translate(vpn_at(0), 0.0)
+        # 2 walkers, reserve 1: at most one walker may host prefetches, and
+        # the demand walk already took one — nothing is issued.
+        assert mmu.prefetcher.stats.issued == 0
+        assert mmu.prefetcher.stats.dropped_no_walker >= 1
+
+    def test_never_prefetches_unmapped(self):
+        config = MMUConfig(n_walkers=8, prefetch_depth=2)
+        mmu = MMU(config, make_table(n_pages=1))
+        mmu.translate(vpn_at(0), 0.0)  # page 1 unmapped
+        assert mmu.prefetcher.stats.issued == 0
+        assert mmu.stats.faults == 0  # no speculative faults
+
+    def test_covered_pages_skipped(self):
+        config = MMUConfig(n_walkers=8, prefetch_depth=1)
+        mmu = MMU(config, make_table())
+        ready, _ = mmu.translate(vpn_at(0), 0.0)  # prefetches page 1
+        mmu.process_completions(ready + 1)
+        mmu.translate(vpn_at(1), ready + 1)
+        # Demand hit on page 1 prefetches page 2... but a second walk for
+        # page 1 never re-issues.
+        before = mmu.prefetcher.stats.issued
+        mmu.translate(vpn_at(1), ready + 2)
+        assert mmu.prefetcher.stats.issued == before
+
+    def test_reset(self):
+        pf = NextPagePrefetcher(depth=1)
+        pf.stats.issued = 5
+        pf._outstanding.add(7)
+        pf.reset()
+        assert pf.stats.issued == 0
+        assert not pf._outstanding
+
+
+class TestPrefetchEndToEnd:
+    def test_prefetch_helps_but_not_enough(self):
+        """The extension-study shape: prefetching improves the 8-walker
+        IOMMU yet stays far from NeuMMU territory."""
+        from repro.core.mmu import neummu_config, oracle_config
+
+        oracle = run_workload(tiny_cnn(), oracle_config())
+        plain = run_workload(tiny_cnn(), MMUConfig(name="p0", n_walkers=8))
+        prefetch = run_workload(
+            tiny_cnn(), MMUConfig(name="p4", n_walkers=8, prefetch_depth=4)
+        )
+        neummu = run_workload(tiny_cnn(), neummu_config())
+        assert prefetch.total_cycles <= plain.total_cycles * 1.02
+        assert prefetch.total_cycles > neummu.total_cycles
+        assert prefetch.mmu_summary.prefetches > 0
+        assert 0.0 <= prefetch.mmu_summary.prefetch_accuracy <= 1.0
+        assert oracle.total_cycles <= neummu.total_cycles

@@ -1,0 +1,69 @@
+"""Tests for figure rendering and the small stats helpers."""
+
+import pytest
+
+from repro.analysis.figures import FigureResult, Series, geometric_mean
+from repro.core.stats import TranslationStats, delta
+
+
+class TestFigureResult:
+    def make(self):
+        fig = FigureResult("figX", "demo", columns=["a", "b"])
+        fig.add("row1", a=1.0, b=2.0)
+        fig.add("row2", a=3.0)
+        return fig
+
+    def test_value_lookup(self):
+        fig = self.make()
+        assert fig.value("row1", "a") == 1.0
+        with pytest.raises(KeyError):
+            fig.value("missing", "a")
+
+    def test_column_skips_missing(self):
+        fig = self.make()
+        assert fig.column("b") == [2.0]
+
+    def test_mean(self):
+        fig = self.make()
+        assert fig.mean("a") == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            fig.mean("zz")
+
+    def test_render_contains_everything(self):
+        fig = self.make()
+        fig.notes.append("hello note")
+        text = fig.render()
+        assert "figX" in text
+        assert "row1" in text and "row2" in text
+        assert "hello note" in text
+        assert "-" in text  # missing cell placeholder
+
+    def test_render_alignment(self):
+        text = self.make().render()
+        lines = text.splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestStatsDelta:
+    def test_snapshot_delta(self):
+        stats = TranslationStats()
+        stats.requests = 5
+        before = stats.snapshot()
+        stats.requests = 12
+        stats.merges = 3
+        diff = delta(before, stats.snapshot())
+        assert diff["requests"] == 7
+        assert diff["merges"] == 3

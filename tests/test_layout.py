@@ -1,0 +1,172 @@
+"""Tests for tensor layout and tile-extent decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressError
+from repro.memory.layout import TensorLayout, coalesce_extents, extents_total_bytes
+
+
+def reference_extent_bytes(shape, starts, sizes, elem):
+    """Brute-force byte set of a tile via numpy offsets."""
+    offsets = np.arange(int(np.prod(shape)) * elem, dtype=np.int64).reshape(
+        tuple(shape) + (elem,)
+    )
+    index = tuple(slice(s, s + z) for s, z in zip(starts, sizes))
+    return set(offsets[index].ravel().tolist())
+
+
+class TestBasics:
+    def test_strides_row_major(self):
+        t = TensorLayout("t", 0, (2, 3, 4), elem_bytes=4)
+        assert t.strides == (48, 16, 4)
+
+    def test_nbytes(self):
+        t = TensorLayout("t", 0, (2, 3, 4), elem_bytes=4)
+        assert t.nbytes == 96
+
+    def test_element_va(self):
+        t = TensorLayout("t", 1000, (2, 3, 4), elem_bytes=4)
+        assert t.element_va((0, 0, 0)) == 1000
+        assert t.element_va((1, 2, 3)) == 1000 + 48 + 32 + 12
+
+    def test_element_va_bounds(self):
+        t = TensorLayout("t", 0, (2, 3), elem_bytes=4)
+        with pytest.raises(AddressError):
+            t.element_va((2, 0))
+        with pytest.raises(AddressError):
+            t.element_va((0,))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(AddressError):
+            TensorLayout("t", 0, ())
+        with pytest.raises(AddressError):
+            TensorLayout("t", 0, (0, 3))
+        with pytest.raises(AddressError):
+            TensorLayout("t", 0, (1,), elem_bytes=0)
+
+
+class TestTileExtents:
+    def test_full_tensor_single_extent(self):
+        t = TensorLayout("t", 0, (4, 8), elem_bytes=4)
+        extents = t.tile_extents((0, 0), (4, 8))
+        assert len(extents) == 1
+        assert extents[0].va == 0
+        assert extents[0].length == t.nbytes
+
+    def test_row_slice_contiguous(self):
+        t = TensorLayout("t", 0, (4, 8), elem_bytes=4)
+        extents = t.tile_extents((1, 0), (2, 8))
+        assert len(extents) == 1
+        assert extents[0].va == 32
+        assert extents[0].length == 64
+
+    def test_column_slice_strided(self):
+        t = TensorLayout("t", 0, (4, 8), elem_bytes=4)
+        extents = t.tile_extents((0, 2), (4, 3))
+        assert len(extents) == 4
+        assert [e.va for e in extents] == [8, 40, 72, 104]
+        assert all(e.length == 12 for e in extents)
+
+    def test_extents_ascending(self):
+        t = TensorLayout("t", 0, (3, 5, 7), elem_bytes=2)
+        extents = t.tile_extents((1, 1, 2), (2, 3, 4))
+        vas = [e.va for e in extents]
+        assert vas == sorted(vas)
+
+    def test_out_of_bounds_rejected(self):
+        t = TensorLayout("t", 0, (4, 8))
+        with pytest.raises(AddressError):
+            t.tile_extents((0, 0), (5, 8))
+        with pytest.raises(AddressError):
+            t.tile_extents((0, 7), (1, 2))
+        with pytest.raises(AddressError):
+            t.tile_extents((0, 0), (0, 1))
+
+    @given(
+        st.lists(st.integers(1, 6), min_size=1, max_size=4),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_numpy_reference(self, shape, data):
+        starts = [data.draw(st.integers(0, d - 1)) for d in shape]
+        sizes = [data.draw(st.integers(1, d - s)) for d, s in zip(shape, starts)]
+        elem = data.draw(st.sampled_from([1, 2, 4]))
+        t = TensorLayout("t", 0, tuple(shape), elem_bytes=elem)
+        extents = t.tile_extents(tuple(starts), tuple(sizes))
+        got = set()
+        for e in extents:
+            got.update(range(e.va, e.end))
+        assert got == reference_extent_bytes(shape, starts, sizes, elem)
+
+    @given(
+        st.lists(st.integers(1, 6), min_size=1, max_size=4),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_bytes_matches_volume(self, shape, data):
+        starts = [data.draw(st.integers(0, d - 1)) for d in shape]
+        sizes = [data.draw(st.integers(1, d - s)) for d, s in zip(shape, starts)]
+        t = TensorLayout("t", 0, tuple(shape), elem_bytes=4)
+        extents = t.tile_extents(tuple(starts), tuple(sizes))
+        volume = 4
+        for s in sizes:
+            volume *= s
+        assert extents_total_bytes(extents) == volume
+
+
+class TestCoalesce:
+    def test_empty(self):
+        assert coalesce_extents([]) == []
+
+    def test_adjacent_merge(self):
+        from repro.memory.address import Extent
+
+        merged = coalesce_extents([Extent(0, 10), Extent(10, 5)])
+        assert len(merged) == 1
+        assert merged[0].length == 15
+
+    def test_overlap_merge(self):
+        from repro.memory.address import Extent
+
+        merged = coalesce_extents([Extent(0, 10), Extent(5, 10)])
+        assert len(merged) == 1
+        assert merged[0].length == 15
+
+    def test_disjoint_kept(self):
+        from repro.memory.address import Extent
+
+        merged = coalesce_extents([Extent(20, 5), Extent(0, 5)])
+        assert [(e.va, e.length) for e in merged] == [(0, 5), (20, 5)]
+
+    def test_contained_absorbed(self):
+        from repro.memory.address import Extent
+
+        merged = coalesce_extents([Extent(0, 100), Extent(10, 5)])
+        assert len(merged) == 1
+        assert merged[0].length == 100
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(1, 100)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_coalesce_preserves_byte_set(self, raw):
+        from repro.memory.address import Extent
+
+        extents = [Extent(va, ln) for va, ln in raw]
+        merged = coalesce_extents(extents)
+        original = set()
+        for e in extents:
+            original.update(range(e.va, e.end))
+        merged_set = set()
+        for e in merged:
+            merged_set.update(range(e.va, e.end))
+        assert merged_set == original
+        # Merged extents are sorted and strictly disjoint with gaps.
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.va

@@ -1,0 +1,214 @@
+"""Integration tests for the end-to-end NPU simulator.
+
+These encode the paper's *ordering* truths on small workloads: oracle is an
+upper bound, NeuMMU ≈ oracle ≫ baseline IOMMU, more walkers/merge slots
+never hurt, and the FAST fidelity mode agrees with EXACT.
+"""
+
+import pytest
+
+from repro.core.mmu import MMUConfig, baseline_iommu_config, neummu_config, oracle_config
+from repro.npu.config import NPUConfig
+from repro.npu.simulator import (
+    Fidelity,
+    NPUSimulator,
+    normalized_performance,
+    run_workload,
+)
+from repro.workloads.cnn import Workload
+from repro.workloads.layers import ConvLayer, DenseLayer, RecurrentLayer
+
+
+def tiny_cnn(batch=1):
+    return Workload(
+        name=f"tiny_cnn_b{batch}",
+        batch=batch,
+        layers=(
+            ConvLayer("c1", batch, 28, 28, 16, 64, kernel=3, pad=1),
+            ConvLayer("c2", batch, 28, 28, 64, 64, kernel=3, pad=1),
+            DenseLayer("fc", batch, 28 * 28 * 64, 256),
+        ),
+    )
+
+
+def tiny_rnn(batch=1):
+    return Workload(
+        name=f"tiny_rnn_b{batch}",
+        batch=batch,
+        layers=(RecurrentLayer("r", batch, 1024, 1024, seq_len=6, gates=4),),
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle_run():
+    return run_workload(tiny_cnn(), oracle_config())
+
+
+class TestBasicExecution:
+    def test_oracle_produces_positive_cycles(self, oracle_run):
+        assert oracle_run.total_cycles > 0
+        assert oracle_run.mmu_summary.requests > 0
+        assert len(oracle_run.layers) == 3
+
+    def test_layer_results_sum_to_total(self, oracle_run):
+        assert sum(l.cycles for l in oracle_run.layers) == pytest.approx(
+            oracle_run.total_cycles
+        )
+
+    def test_fetch_bytes_at_least_model_size(self, oracle_run):
+        weights = tiny_cnn().total_weight_bytes()
+        assert oracle_run.total_fetch_bytes >= weights
+
+    def test_request_count_identical_across_mmus(self):
+        """The DMA stream is MMU-independent; only its timing changes."""
+        oracle = run_workload(tiny_cnn(), oracle_config())
+        iommu = run_workload(tiny_cnn(), baseline_iommu_config())
+        assert oracle.mmu_summary.requests == iommu.mmu_summary.requests
+
+
+class TestOrderings:
+    def test_oracle_is_upper_bound(self, oracle_run):
+        for config in (baseline_iommu_config(), neummu_config()):
+            result = run_workload(tiny_cnn(), config)
+            assert result.total_cycles >= oracle_run.total_cycles * 0.999
+
+    def test_neummu_close_to_oracle(self, oracle_run):
+        result = run_workload(tiny_cnn(), neummu_config())
+        norm = normalized_performance(oracle_run, result)
+        assert norm > 0.95
+
+    def test_iommu_far_from_oracle(self, oracle_run):
+        result = run_workload(tiny_cnn(), baseline_iommu_config())
+        norm = normalized_performance(oracle_run, result)
+        assert norm < 0.5
+
+    def test_neummu_beats_iommu_on_rnn(self):
+        oracle = run_workload(tiny_rnn(), oracle_config())
+        iommu = run_workload(tiny_rnn(), baseline_iommu_config())
+        neummu = run_workload(tiny_rnn(), neummu_config())
+        assert neummu.total_cycles < iommu.total_cycles
+        assert normalized_performance(oracle, neummu) > 0.9
+
+    def test_more_walkers_never_hurt(self):
+        previous = float("inf")
+        for walkers in (8, 32, 128):
+            config = MMUConfig(name=f"w{walkers}", n_walkers=walkers, prmb_slots=32)
+            cycles = run_workload(tiny_cnn(), config).total_cycles
+            assert cycles <= previous * 1.001
+            previous = cycles
+
+    def test_more_prmb_slots_never_hurt(self):
+        previous = float("inf")
+        for slots in (0, 4, 32):
+            config = MMUConfig(name=f"s{slots}", n_walkers=8, prmb_slots=slots)
+            cycles = run_workload(tiny_cnn(), config).total_cycles
+            assert cycles <= previous * 1.001
+            previous = cycles
+
+    def test_prmb_cuts_walk_count(self):
+        without = run_workload(tiny_cnn(), MMUConfig(n_walkers=128, prmb_slots=0))
+        with_prmb = run_workload(tiny_cnn(), MMUConfig(n_walkers=128, prmb_slots=32))
+        assert with_prmb.mmu_summary.walks < without.mmu_summary.walks / 2
+        assert with_prmb.mmu_summary.merges > 0
+
+    def test_tpreg_cuts_walk_memory_accesses(self):
+        plain = run_workload(
+            tiny_cnn(), MMUConfig(n_walkers=128, prmb_slots=32, path_cache="none")
+        )
+        tpreg = run_workload(
+            tiny_cnn(), MMUConfig(n_walkers=128, prmb_slots=32, path_cache="tpreg")
+        )
+        assert (
+            tpreg.mmu_summary.walk_level_accesses
+            < plain.mmu_summary.walk_level_accesses / 2
+        )
+
+
+class TestFidelity:
+    def test_fast_matches_exact_oracle(self):
+        exact = NPUSimulator(
+            tiny_cnn(), oracle_config(), fidelity=Fidelity.EXACT
+        ).run()
+        fast = NPUSimulator(tiny_cnn(), oracle_config(), fidelity=Fidelity.FAST).run()
+        assert fast.total_cycles == pytest.approx(exact.total_cycles, rel=0.05)
+
+    def test_fast_matches_exact_neummu(self):
+        exact = NPUSimulator(
+            tiny_rnn(), neummu_config(), fidelity=Fidelity.EXACT
+        ).run()
+        fast = NPUSimulator(tiny_rnn(), neummu_config(), fidelity=Fidelity.FAST).run()
+        assert fast.total_cycles == pytest.approx(exact.total_cycles, rel=0.05)
+
+    def test_fast_matches_exact_iommu(self):
+        exact = NPUSimulator(
+            tiny_rnn(), baseline_iommu_config(), fidelity=Fidelity.EXACT
+        ).run()
+        fast = NPUSimulator(
+            tiny_rnn(), baseline_iommu_config(), fidelity=Fidelity.FAST
+        ).run()
+        assert fast.total_cycles == pytest.approx(exact.total_cycles, rel=0.10)
+
+    def test_fast_simulates_fewer_steps(self):
+        result = NPUSimulator(
+            tiny_rnn(), oracle_config(), fidelity=Fidelity.FAST, warmup=2
+        ).run()
+        layer = result.layers[0]
+        assert layer.simulated_steps < layer.steps
+
+
+class TestInstrumentation:
+    def test_page_divergence_streams(self):
+        sim = NPUSimulator(tiny_cnn(), oracle_config())
+        divergence = sim.page_divergence()
+        assert "all" in divergence and "w" in divergence
+        assert divergence["all"].max_pages >= divergence["all"].mean_pages
+
+    def test_timeline_recording(self):
+        sim = NPUSimulator(tiny_cnn(), oracle_config(), timeline_window=1000)
+        result = sim.run()
+        assert result.translation_timeline
+        total = sum(count for _, count in result.translation_timeline)
+        assert total == result.mmu_summary.requests
+
+    def test_va_trace(self):
+        sim = NPUSimulator(tiny_cnn(), oracle_config(), trace_va=True)
+        result = sim.run()
+        assert result.va_trace
+        for _step, lo, hi, tensor in result.va_trace:
+            assert hi > lo
+            assert tensor in ("ia", "w")
+
+
+class TestAlternativeConfigs:
+    def test_spatial_compute_model_swaps_in(self):
+        from repro.npu.spatial import SpatialArrayModel
+
+        npu = NPUConfig()
+        result = run_workload(
+            tiny_cnn(),
+            oracle_config(),
+            npu_config=npu,
+            compute_model=SpatialArrayModel(npu),
+        )
+        assert result.total_cycles > 0
+
+    def test_large_pages_reduce_iommu_gap(self):
+        from repro.memory.address import PAGE_SIZE_2M
+
+        oracle_4k = run_workload(tiny_cnn(), oracle_config())
+        iommu_4k = run_workload(tiny_cnn(), baseline_iommu_config())
+        oracle_2m = run_workload(tiny_cnn(), oracle_config(PAGE_SIZE_2M))
+        iommu_2m = run_workload(
+            tiny_cnn(), baseline_iommu_config(page_size=PAGE_SIZE_2M)
+        )
+        norm_4k = normalized_performance(oracle_4k, iommu_4k)
+        norm_2m = normalized_performance(oracle_2m, iommu_2m)
+        # Section VI-A: large pages mostly fix dense workloads.
+        assert norm_2m > norm_4k
+        assert norm_2m > 0.8
+
+    def test_scaled_npu_config(self):
+        small = NPUConfig().scaled(0.25)
+        assert small.ia_spm_bytes == NPUConfig().ia_spm_bytes // 4
+        result = run_workload(tiny_cnn(), oracle_config(), npu_config=small)
+        assert result.total_cycles > 0

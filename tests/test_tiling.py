@@ -1,0 +1,204 @@
+"""Tests for SPM accounting and the tile planners."""
+
+import pytest
+
+from repro.memory.layout import TensorLayout
+from repro.npu.config import NPUConfig
+from repro.npu.spm import Scratchpad, SPMCapacityError
+from repro.npu.tiling import (
+    ConvGeometry,
+    plan_conv,
+    plan_gemm,
+    plan_recurrent,
+)
+
+MB = 1024 * 1024
+
+
+class TestScratchpad:
+    def test_double_buffer_halves_budget(self):
+        spm = Scratchpad("ia", 10 * MB)
+        assert spm.tile_budget == 5 * MB
+
+    def test_single_buffer_full_budget(self):
+        spm = Scratchpad("ia", 10 * MB, double_buffered=False)
+        assert spm.tile_budget == 10 * MB
+
+    def test_check_tile(self):
+        spm = Scratchpad("w", 10 * MB)
+        spm.check_tile(5 * MB)
+        with pytest.raises(SPMCapacityError):
+            spm.check_tile(5 * MB + 1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SPMCapacityError):
+            Scratchpad("x", 0)
+
+
+def layouts_for_gemm(m, k, n, elem=4):
+    return (
+        TensorLayout("ia", 0x10_0000_0000, (m, k), elem),
+        TensorLayout("w", 0x20_0000_0000, (k, n), elem),
+    )
+
+
+class TestPlanGemm:
+    def test_tiles_respect_w_budget(self):
+        config = NPUConfig()
+        ia, w = layouts_for_gemm(8, 9216, 4096)
+        schedule = plan_gemm("fc", 8, 9216, 4096, ia, w, config)
+        budget = config.w_tile_budget
+        for step in schedule.steps:
+            for fetch in step.fetches:
+                if fetch.tensor == "w":
+                    assert fetch.nbytes <= budget
+
+    def test_w_traffic_covers_whole_matrix_once(self):
+        config = NPUConfig()
+        ia, w = layouts_for_gemm(8, 9216, 4096)
+        schedule = plan_gemm("fc", 8, 9216, 4096, ia, w, config)
+        w_bytes = sum(
+            f.nbytes
+            for step in schedule.steps
+            for f in step.fetches
+            if f.tensor == "w"
+        )
+        assert w_bytes == 9216 * 4096 * 4
+
+    def test_compute_covers_all_macs(self):
+        config = NPUConfig()
+        ia, w = layouts_for_gemm(8, 9216, 4096)
+        schedule = plan_gemm("fc", 8, 9216, 4096, ia, w, config)
+        assert schedule.total_macs == 8 * 9216 * 4096
+
+    def test_small_ia_fetched_once(self):
+        config = NPUConfig()
+        ia, w = layouts_for_gemm(8, 9216, 4096)
+        schedule = plan_gemm("fc", 8, 9216, 4096, ia, w, config)
+        ia_fetches = [
+            f for step in schedule.steps for f in step.fetches if f.tensor == "ia"
+        ]
+        assert len(ia_fetches) == 1
+        assert ia_fetches[0].nbytes == 8 * 9216 * 4
+
+    def test_huge_ia_blocks_m(self):
+        config = NPUConfig()
+        m = 100_000  # IA = 100000x4096x4 = 1.6 GB, far over budget
+        ia, w = layouts_for_gemm(m, 4096, 256)
+        schedule = plan_gemm("fc", m, 4096, 256, ia, w, config)
+        budget = config.ia_tile_budget
+        ia_fetches = [
+            f for step in schedule.steps for f in step.fetches if f.tensor == "ia"
+        ]
+        assert len(ia_fetches) > 1
+        assert all(f.nbytes <= budget for f in ia_fetches)
+
+
+class TestConvGeometry:
+    def test_output_dims(self):
+        g = ConvGeometry(1, 227, 227, 3, 96, kernel=11, stride=4)
+        assert (g.out_h, g.out_w) == (55, 55)
+
+    def test_padding(self):
+        g = ConvGeometry(1, 13, 13, 256, 384, kernel=3, pad=1)
+        assert (g.out_h, g.out_w) == (13, 13)
+
+    def test_gemm_k(self):
+        g = ConvGeometry(1, 13, 13, 256, 384, kernel=3, pad=1)
+        assert g.gemm_k == 3 * 3 * 256
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            ConvGeometry(1, 4, 4, 3, 8, kernel=7)
+
+
+class TestPlanConv:
+    def build(self, batch=1, hw=56, c=64, f=256, kernel=3, pad=1):
+        config = NPUConfig()
+        geom = ConvGeometry(batch, hw, hw, c, f, kernel=kernel, pad=pad)
+        ia = TensorLayout("ia", 0x10_0000_0000, (batch, hw, hw, c), 4)
+        w = TensorLayout("w", 0x20_0000_0000, (f, kernel, kernel, c), 4)
+        return plan_conv("conv", geom, ia, w, config), geom, config
+
+    def test_w_traffic_exactly_once(self):
+        schedule, geom, _ = self.build()
+        w_bytes = sum(
+            f.nbytes for s in schedule.steps for f in s.fetches if f.tensor == "w"
+        )
+        assert w_bytes == geom.out_c * geom.kernel * geom.kernel * geom.in_c * 4
+
+    def test_macs_cover_convolution(self):
+        schedule, geom, _ = self.build()
+        expected = (
+            geom.batch * geom.out_h * geom.out_w * geom.gemm_k * geom.out_c
+        )
+        assert schedule.total_macs == expected
+
+    def test_resident_ia_fetched_once(self):
+        schedule, _, _ = self.build(batch=1, hw=56, c=64)  # IA ~0.8 MB
+        ia_fetches = [
+            f for s in schedule.steps for f in s.fetches if f.tensor == "ia"
+        ]
+        assert len(ia_fetches) == 1
+
+    def test_large_ia_row_blocks_within_budget(self):
+        schedule, _, config = self.build(batch=8, hw=224, c=64)  # IA ~102 MB
+        ia_fetches = [
+            f for s in schedule.steps for f in s.fetches if f.tensor == "ia"
+        ]
+        assert len(ia_fetches) > 1
+        assert all(f.nbytes <= config.ia_tile_budget for f in ia_fetches)
+
+    def test_row_blocks_cover_all_input_rows(self):
+        schedule, geom, _ = self.build(batch=8, hw=224, c=64)
+        covered = set()
+        for s in schedule.steps:
+            for f in s.fetches:
+                if f.tensor == "ia":
+                    start_h = f.starts[1]
+                    covered.update(range(start_h, start_h + f.sizes[1]))
+        assert covered == set(range(geom.in_h))
+
+
+class TestPlanRecurrent:
+    def build(self, hidden=2048, seq=4, gates=4, batch=1):
+        config = NPUConfig()
+        k = 2 * hidden
+        n = gates * hidden
+        ia = TensorLayout("ia", 0x10_0000_0000, (seq, batch, k), 4)
+        w = TensorLayout("w", 0x20_0000_0000, (k, n), 4)
+        return (
+            plan_recurrent("rnn", batch, hidden, hidden, seq, gates, ia, w, config),
+            config,
+            k,
+            n,
+        )
+
+    def test_weights_restream_every_timestep(self):
+        schedule, _, k, n = self.build()
+        w_bytes = sum(
+            f.nbytes for s in schedule.steps for f in s.fetches if f.tensor == "w"
+        )
+        assert w_bytes == 4 * k * n * 4  # seq_len times the matrix
+
+    def test_small_weights_fetched_once(self):
+        schedule, _, k, n = self.build(hidden=128, seq=6)
+        w_bytes = sum(
+            f.nbytes for s in schedule.steps for f in s.fetches if f.tensor == "w"
+        )
+        assert w_bytes == k * n * 4  # resident across timesteps
+
+    def test_each_timestep_reads_its_slice(self):
+        schedule, _, _, _ = self.build(hidden=128, seq=6)
+        ia_steps = {
+            f.starts[0]
+            for s in schedule.steps
+            for f in s.fetches
+            if f.tensor == "ia"
+        }
+        assert ia_steps == set(range(6))
+
+    def test_gates_multiply_width(self):
+        lstm, _, _, n_lstm = self.build(gates=4)
+        rnn, _, _, n_rnn = self.build(gates=1)
+        assert n_lstm == 4 * n_rnn

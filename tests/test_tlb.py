@@ -1,0 +1,145 @@
+"""Tests for the TLB, including an LRU reference-model property test."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tlb import TLB
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert tlb.lookup(10) is None
+        tlb.insert(10, 99)
+        assert tlb.lookup(10) == 99
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_hit_rate(self):
+        tlb = TLB(entries=4)
+        tlb.insert(1, 1)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert TLB(4).hit_rate == 0.0
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.insert(1, 1)
+        tlb.insert(2, 2)
+        tlb.lookup(1)  # 1 becomes MRU
+        tlb.insert(3, 3)  # evicts 2
+        assert tlb.contains(1)
+        assert not tlb.contains(2)
+        assert tlb.contains(3)
+
+    def test_insert_existing_updates(self):
+        tlb = TLB(entries=2)
+        tlb.insert(1, 1)
+        tlb.insert(1, 42)
+        assert tlb.lookup(1) == 42
+        assert tlb.occupancy == 1
+
+    def test_invalidate(self):
+        tlb = TLB(entries=4)
+        tlb.insert(1, 1)
+        assert tlb.invalidate(1) is True
+        assert tlb.invalidate(1) is False
+        assert tlb.lookup(1) is None
+
+    def test_flush_keeps_stats(self):
+        tlb = TLB(entries=4)
+        tlb.insert(1, 1)
+        tlb.lookup(1)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert tlb.hits == 1
+
+    def test_reset_stats(self):
+        tlb = TLB(entries=4)
+        tlb.lookup(1)
+        tlb.reset_stats()
+        assert tlb.misses == 0
+
+    def test_contains_does_not_touch_lru(self):
+        tlb = TLB(entries=2)
+        tlb.insert(1, 1)
+        tlb.insert(2, 2)
+        tlb.contains(1)  # must NOT refresh 1
+        tlb.insert(3, 3)  # evicts 1 (oldest by true LRU)
+        assert not tlb.contains(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLB(0)
+        with pytest.raises(ValueError):
+            TLB(entries=8, associativity=3)
+        with pytest.raises(ValueError):
+            TLB(entries=24, associativity=2)  # 12 sets: not a power of two
+
+
+class TestSetAssociative:
+    def test_sets_isolate_conflicts(self):
+        tlb = TLB(entries=4, associativity=2)  # 2 sets
+        # VPNs 0, 2, 4 all map to set 0; capacity 2 ways.
+        tlb.insert(0, 0)
+        tlb.insert(2, 2)
+        tlb.insert(4, 4)  # evicts 0
+        assert not tlb.contains(0)
+        assert tlb.contains(2)
+        assert tlb.contains(4)
+        # Set 1 untouched.
+        tlb.insert(1, 1)
+        assert tlb.contains(1)
+
+    def test_full_assoc_no_conflicts(self):
+        tlb = TLB(entries=4)
+        for vpn in (0, 4, 8, 12):  # would all conflict in a sets design
+            tlb.insert(vpn, vpn)
+        assert all(tlb.contains(v) for v in (0, 4, 8, 12))
+
+
+class ReferenceLRU:
+    """Golden-model fully-associative LRU."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data = OrderedDict()
+
+    def lookup(self, key):
+        if key in self.data:
+            self.data.move_to_end(key)
+            return self.data[key]
+        return None
+
+    def insert(self, key, value):
+        if key in self.data:
+            self.data.move_to_end(key)
+        elif len(self.data) >= self.capacity:
+            self.data.popitem(last=False)
+        self.data[key] = value
+
+
+@given(
+    st.integers(1, 8),
+    st.lists(
+        st.tuples(st.sampled_from(["lookup", "insert"]), st.integers(0, 15)),
+        max_size=200,
+    ),
+)
+@settings(max_examples=100)
+def test_property_matches_reference_lru(capacity, ops):
+    tlb = TLB(entries=capacity)
+    ref = ReferenceLRU(capacity)
+    for op, key in ops:
+        if op == "lookup":
+            assert tlb.lookup(key) == ref.lookup(key)
+        else:
+            tlb.insert(key, key * 7)
+            ref.insert(key, key * 7)
+    assert tlb.occupancy == len(ref.data)

@@ -1,0 +1,195 @@
+"""Tests for TPreg and the UPTC/TPC translation path caches."""
+
+import pytest
+
+from repro.core.mmu_cache import (
+    NullPathCache,
+    TranslationPathCache,
+    UnifiedPageTableCache,
+)
+from repro.core.tpreg import TPreg, TPregStats
+from repro.core.walk_info import WalkInfo
+
+
+def walk(l4, l3, l2, l1=0, levels=4, page_size=4096):
+    """Construct a WalkInfo with synthetic entry PAs derived from the path."""
+    path = (l4, l3, l2) if levels == 4 else (l4, l3)
+    # Unique per-level entry PAs mirroring a real radix tree.
+    entry_pas = [0x1000_0000 + l4 * 8]
+    entry_pas.append(0x2000_0000 + (l4 * 512 + l3) * 8)
+    if levels >= 3:
+        entry_pas.append(0x3000_0000 + ((l4 * 512 + l3) * 512 + l2) * 8)
+    if levels == 4:
+        entry_pas.append(
+            0x4000_0000 + (((l4 * 512 + l3) * 512 + l2) * 512 + l1) * 8
+        )
+    vpn = ((l4 * 512 + l3) * 512 + l2) * 512 + l1
+    return WalkInfo(
+        vpn=vpn,
+        pfn=vpn + 7,
+        page_size=page_size,
+        levels=levels,
+        path=path,
+        entry_pas=tuple(entry_pas[:levels]),
+    )
+
+
+class TestTPreg:
+    def test_empty_register_skips_nothing(self):
+        reg = TPreg()
+        assert reg.lookup(walk(1, 2, 3)) == 0
+
+    def test_full_path_match_skips_three(self):
+        reg = TPreg()
+        reg.fill(walk(1, 2, 3, 0))
+        assert reg.lookup(walk(1, 2, 3, 5)) == 3
+
+    def test_partial_prefix_match(self):
+        reg = TPreg()
+        reg.fill(walk(1, 2, 3))
+        assert reg.lookup(walk(1, 2, 9)) == 2  # L4+L3 match
+        reg.fill(walk(1, 2, 9))
+        assert reg.lookup(walk(1, 7, 9)) == 1  # only L4
+        reg.fill(walk(1, 7, 9))
+        assert reg.lookup(walk(5, 7, 9)) == 0  # no prefix
+
+    def test_prefix_must_be_contiguous_from_root(self):
+        reg = TPreg()
+        reg.fill(walk(1, 2, 3))
+        # L3/L2 match but L4 differs: nothing is skippable.
+        assert reg.lookup(walk(9, 2, 3)) == 0
+
+    def test_stats_count_levels(self):
+        reg = TPreg()
+        reg.fill(walk(1, 2, 3))
+        reg.lookup(walk(1, 2, 3))
+        reg.lookup(walk(1, 2, 8))
+        reg.lookup(walk(4, 5, 6))
+        assert reg.stats.walks == 3
+        assert reg.stats.l4_hits == 2
+        assert reg.stats.l3_hits == 2
+        assert reg.stats.l2_hits == 1
+
+    def test_hit_rates(self):
+        stats = TPregStats(walks=4, l4_hits=4, l3_hits=2, l2_hits=1)
+        assert stats.hit_rates() == (1.0, 0.5, 0.25)
+        assert TPregStats().hit_rates() == (0.0, 0.0, 0.0)
+
+    def test_stats_merge(self):
+        a = TPregStats(walks=2, l4_hits=1)
+        b = TPregStats(walks=3, l4_hits=2, l2_hits=1)
+        a.merge(b)
+        assert a.walks == 5
+        assert a.l4_hits == 3
+        assert a.l2_hits == 1
+
+    def test_invalidate(self):
+        reg = TPreg()
+        reg.fill(walk(1, 2, 3))
+        reg.invalidate()
+        assert reg.path is None
+        assert reg.lookup(walk(1, 2, 3)) == 0
+
+    def test_2mb_walk_paths(self):
+        reg = TPreg()
+        reg.fill(walk(1, 2, 0, levels=3, page_size=2 * 1024 * 1024))
+        # Full (l4, l3) match on a 3-level walk skips 2.
+        assert reg.lookup(walk(1, 2, 0, levels=3, page_size=2 * 1024 * 1024)) == 2
+
+
+class TestNullCache:
+    def test_never_skips(self):
+        cache = NullPathCache()
+        cache.fill(walk(1, 2, 3))
+        assert cache.lookup(walk(1, 2, 3)) == 0
+
+
+class TestUPTC:
+    def test_cold_miss_then_hit(self):
+        cache = UnifiedPageTableCache(entries=8)
+        w = walk(1, 2, 3)
+        assert cache.lookup(w) == 0
+        cache.fill(w)
+        # Same path: all three upper entries present.
+        assert cache.lookup(walk(1, 2, 3, 9)) == 3
+
+    def test_prefix_gated_on_upper_level(self):
+        cache = UnifiedPageTableCache(entries=8)
+        cache.fill(walk(1, 2, 3))
+        # Different L4: even though nothing matches, ensure 0 (and no crash).
+        assert cache.lookup(walk(9, 2, 3)) == 0
+
+    def test_partial_path_reuse(self):
+        cache = UnifiedPageTableCache(entries=8)
+        cache.fill(walk(1, 2, 3))
+        # Shares L4 and L3 entries; L2 entry differs.
+        assert cache.lookup(walk(1, 2, 7)) == 2
+
+    def test_lru_eviction(self):
+        cache = UnifiedPageTableCache(entries=3)
+        cache.fill(walk(1, 2, 3))  # inserts 3 entries, cache full
+        cache.fill(walk(4, 5, 6))  # evicts the first walk's entries
+        assert cache.lookup(walk(1, 2, 3)) == 0
+
+    def test_skip_rate_stat(self):
+        cache = UnifiedPageTableCache(entries=8)
+        w = walk(1, 2, 3)
+        cache.lookup(w)
+        cache.fill(w)
+        cache.lookup(w)
+        assert cache.stats.walks == 2
+        assert cache.stats.levels_skippable == 6
+        assert cache.stats.levels_skipped == 3
+        assert cache.stats.skip_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnifiedPageTableCache(0)
+
+
+class TestTPC:
+    def test_full_path_hit(self):
+        cache = TranslationPathCache(entries=4)
+        cache.fill(walk(1, 2, 3))
+        assert cache.lookup(walk(1, 2, 3, 9)) == 3
+
+    def test_longest_prefix(self):
+        cache = TranslationPathCache(entries=4)
+        cache.fill(walk(1, 2, 3))
+        assert cache.lookup(walk(1, 2, 9)) == 2
+        assert cache.lookup(walk(1, 9, 9)) == 1
+        assert cache.lookup(walk(9, 9, 9)) == 0
+
+    def test_per_level_hit_counters(self):
+        cache = TranslationPathCache(entries=4)
+        cache.fill(walk(1, 2, 3))
+        cache.lookup(walk(1, 2, 3))
+        cache.lookup(walk(1, 2, 8))
+        cache.lookup(walk(7, 7, 7))
+        assert cache.hit_rates() == (
+            pytest.approx(2 / 3),
+            pytest.approx(2 / 3),
+            pytest.approx(1 / 3),
+        )
+
+    def test_lru_eviction(self):
+        cache = TranslationPathCache(entries=2)
+        cache.fill(walk(1, 1, 1))
+        cache.fill(walk(2, 2, 2))
+        cache.lookup(walk(1, 1, 1))  # refresh
+        cache.fill(walk(3, 3, 3))  # evicts (2,2,2)
+        assert cache.lookup(walk(2, 2, 2)) == 0
+        assert cache.lookup(walk(1, 1, 1)) == 3
+
+    def test_duplicate_fill_no_growth(self):
+        cache = TranslationPathCache(entries=2)
+        cache.fill(walk(1, 1, 1))
+        cache.fill(walk(1, 1, 1))
+        cache.fill(walk(2, 2, 2))
+        assert cache.lookup(walk(1, 1, 1)) == 3  # still present
+
+    def test_invalidate_all(self):
+        cache = TranslationPathCache(entries=2)
+        cache.fill(walk(1, 1, 1))
+        cache.invalidate_all()
+        assert cache.lookup(walk(1, 1, 1)) == 0

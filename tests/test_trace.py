@@ -1,0 +1,115 @@
+"""Tests for translation-trace capture, persistence and replay."""
+
+import pytest
+
+from repro.core.mmu import MMUConfig, baseline_iommu_config, neummu_config, oracle_config
+from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.npu.trace import (
+    TranslationTrace,
+    capture_trace,
+    replay_trace,
+    synthesize_page_table,
+)
+from tests.test_simulator import tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def cnn_trace():
+    return capture_trace(tiny_cnn())
+
+
+class TestCapture:
+    def test_burst_per_fetch(self, cnn_trace):
+        assert cnn_trace.bursts
+        assert all(len(b) > 0 for b in cnn_trace.bursts)
+
+    def test_bytes_match_model_traffic(self, cnn_trace):
+        # At minimum every weight byte is fetched once.
+        assert cnn_trace.total_bytes >= tiny_cnn().total_weight_bytes()
+
+    def test_transactions_bounded(self, cnn_trace):
+        from repro.npu.config import NPUConfig
+
+        max_bytes = NPUConfig().dma_transaction_bytes
+        for burst in cnn_trace.bursts:
+            for _va, size in burst:
+                assert 0 < size <= max_bytes
+
+    def test_distinct_pages_positive(self, cnn_trace):
+        assert cnn_trace.distinct_pages() > 100
+        # 2 MB granularity must never exceed 4 KB granularity.
+        assert cnn_trace.distinct_pages(PAGE_SIZE_2M) < cnn_trace.distinct_pages()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, cnn_trace, tmp_path):
+        path = cnn_trace.save(tmp_path / "t.trace")
+        loaded = TranslationTrace.load(path)
+        assert loaded.name == cnn_trace.name
+        assert loaded.bursts == cnn_trace.bursts
+
+    def test_load_rejects_other_files(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            TranslationTrace.load(path)
+
+    def test_load_rejects_orphan_transactions(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("neummu-trace-v1\nname\nff 256\n")
+        with pytest.raises(ValueError):
+            TranslationTrace.load(path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = TranslationTrace(name="empty")
+        loaded = TranslationTrace.load(trace.save(tmp_path / "e.trace"))
+        assert loaded.bursts == []
+
+
+class TestSynthesizePageTable:
+    def test_covers_every_page(self, cnn_trace):
+        table = synthesize_page_table(cnn_trace)
+        for burst in cnn_trace.bursts[:5]:
+            for va, size in burst:
+                assert table.is_mapped(va)
+                assert table.is_mapped(va + size - 1)
+
+    def test_frames_ascend_with_va(self):
+        trace = TranslationTrace(
+            name="t", bursts=[[(0x10_0000, 256), (0x20_0000, 256)]]
+        )
+        table = synthesize_page_table(trace)
+        assert table.walk(0x10_0000).pfn < table.walk(0x20_0000).pfn
+
+
+class TestReplay:
+    def test_replay_matches_simulator_ordering(self, cnn_trace):
+        """Replaying the captured trace reproduces the paper's ordering."""
+        oracle = replay_trace(cnn_trace, oracle_config())
+        iommu = replay_trace(cnn_trace, baseline_iommu_config())
+        neummu = replay_trace(cnn_trace, neummu_config())
+        assert oracle.total_cycles <= neummu.total_cycles <= iommu.total_cycles
+        # Memory phases alone: the IOMMU gap is even starker than end-to-end.
+        assert iommu.total_cycles > 5 * oracle.total_cycles
+
+    def test_summary_requests_match_trace(self, cnn_trace):
+        result = replay_trace(cnn_trace, neummu_config())
+        assert result.mmu_summary.requests == cnn_trace.transaction_count
+
+    def test_inter_burst_gap_stretches_time(self, cnn_trace):
+        tight = replay_trace(cnn_trace, oracle_config())
+        gapped = replay_trace(cnn_trace, oracle_config(), inter_burst_gap=500.0)
+        assert gapped.total_cycles > tight.total_cycles
+        with pytest.raises(ValueError):
+            replay_trace(cnn_trace, oracle_config(), inter_burst_gap=-1)
+
+    def test_replay_at_2mb_pages(self, cnn_trace):
+        config = baseline_iommu_config(page_size=PAGE_SIZE_2M)
+        oracle_2m = replay_trace(cnn_trace, oracle_config(PAGE_SIZE_2M))
+        iommu_2m = replay_trace(cnn_trace, config)
+        # Section VI-A: large pages nearly close the IOMMU's memory-phase gap.
+        assert iommu_2m.total_cycles < 1.6 * oracle_2m.total_cycles
+
+    def test_stall_accounting(self, cnn_trace):
+        result = replay_trace(cnn_trace, MMUConfig(name="tiny", n_walkers=1))
+        assert result.stall_cycles > 0

@@ -1,0 +1,71 @@
+"""Tests for the memoizing walk resolver."""
+
+import pytest
+
+from repro.core.walk_info import WalkResolver
+from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K, translation_path
+from repro.memory.page_table import PageTable
+
+BASE = 0x7F00_0000_0000
+
+
+def table(n_pages=8, page_size=PAGE_SIZE_4K):
+    pt = PageTable()
+    pt.map_range(BASE, n_pages * page_size, first_pfn=100, page_size=page_size)
+    return pt
+
+
+class TestResolve:
+    def test_resolves_mapped_page(self):
+        resolver = WalkResolver(table(), PAGE_SIZE_4K)
+        info = resolver.resolve_va(BASE + 5000)
+        assert info is not None
+        assert info.pfn == 101
+        assert info.levels == 4
+        assert info.page_size == PAGE_SIZE_4K
+
+    def test_path_matches_address_split(self):
+        resolver = WalkResolver(table(), PAGE_SIZE_4K)
+        info = resolver.resolve_va(BASE)
+        assert info.path == translation_path(BASE)
+        assert len(info.entry_pas) == 4
+
+    def test_unmapped_returns_none(self):
+        resolver = WalkResolver(table(n_pages=1), PAGE_SIZE_4K)
+        assert resolver.resolve_va(BASE + 10 * PAGE_SIZE_4K) is None
+
+    def test_2mb_paths_have_two_levels(self):
+        resolver = WalkResolver(table(2, PAGE_SIZE_2M), PAGE_SIZE_2M)
+        info = resolver.resolve_va(BASE + 100)
+        assert info.levels == 3
+        assert len(info.path) == 2
+
+    def test_memoization_caches_both_outcomes(self):
+        pt = table(n_pages=1)
+        resolver = WalkResolver(pt, PAGE_SIZE_4K)
+        hit = resolver.resolve_va(BASE)
+        again = resolver.resolve_va(BASE)
+        assert hit is again  # cached object identity
+        missing_vpn = (BASE >> 12) + 10
+        assert resolver.resolve_vpn(missing_vpn) is None
+        # Negative result is cached too (mapping added later needs invalidate).
+        pt.map_page(BASE + 10 * PAGE_SIZE_4K, pfn=999)
+        assert resolver.resolve_vpn(missing_vpn) is None
+        resolver.invalidate(missing_vpn)
+        assert resolver.resolve_vpn(missing_vpn).pfn == 999
+
+    def test_invalidate_all(self):
+        pt = table()
+        resolver = WalkResolver(pt, PAGE_SIZE_4K)
+        first = resolver.resolve_va(BASE)
+        pt.map_page(BASE, pfn=555)  # remap
+        assert resolver.resolve_va(BASE).pfn == first.pfn  # stale cache
+        resolver.invalidate_all()
+        assert resolver.resolve_va(BASE).pfn == 555
+
+    def test_adjacent_pages_share_upper_entry_pas(self):
+        resolver = WalkResolver(table(), PAGE_SIZE_4K)
+        a = resolver.resolve_va(BASE)
+        b = resolver.resolve_va(BASE + PAGE_SIZE_4K)
+        assert a.entry_pas[:3] == b.entry_pas[:3]
+        assert a.entry_pas[3] != b.entry_pas[3]

@@ -1,0 +1,240 @@
+"""Tests for the workload zoo: layer tables, registry, embedding models."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cnn import Workload, alexnet, googlenet, resnet50
+from repro.workloads.embedding import (
+    EmbeddingTableSpec,
+    MLPStack,
+    RecSysModel,
+    ZipfSampler,
+    dlrm,
+    ncf,
+)
+from repro.workloads.layers import ConvLayer, DenseLayer, RecurrentLayer
+from repro.workloads.registry import (
+    DENSE_BATCHES,
+    DENSE_WORKLOADS,
+    common_layer_workload,
+    dense_suite,
+    dense_workload,
+)
+from repro.workloads.rnn import lstm_large, lstm_medium, vanilla_rnn
+
+
+class TestAlexNet:
+    def test_layer_count(self):
+        wl = alexnet(1)
+        assert wl.layer_count == 8  # 5 conv + 3 fc
+
+    def test_shapes_chain(self):
+        """Each conv layer's input must equal the previous stage's output
+        (after the published pooling steps)."""
+        layers = alexnet(1).layers
+        conv1 = layers[0]
+        assert (conv1.out_h, conv1.out_w, conv1.out_c) == (55, 55, 96)
+        conv2 = layers[1]
+        assert (conv2.in_h, conv2.in_c) == (27, 96)  # after 3x3/2 pool
+        assert (conv2.out_h, conv2.out_c) == (27, 256)
+        fc6 = layers[5]
+        assert fc6.in_features == 6 * 6 * 256  # after final pool
+
+    def test_parameter_count_matches_published(self):
+        """AlexNet has ~61 M parameters (244 MB fp32)."""
+        wl = alexnet(1)
+        params = wl.total_weight_bytes() / 4
+        assert 56e6 < params < 64e6
+
+    def test_batch_scales_activations_not_weights(self):
+        w1 = alexnet(1).total_weight_bytes()
+        w8 = alexnet(8).total_weight_bytes()
+        assert w1 == w8
+        assert alexnet(8).layers[0].batch == 8
+
+
+class TestGoogLeNet:
+    def test_inception_modules_flattened(self):
+        wl = googlenet(1)
+        assert wl.layer_count == 3 + 9 * 6 + 1
+
+    def test_parameter_count_matches_published(self):
+        """GoogLeNet is famously small: ~6-7 M parameters."""
+        params = googlenet(1).total_weight_bytes() / 4
+        assert 5e6 < params < 8e6
+
+    def test_inception_branch_channels_sum(self):
+        """Each module's output channels must equal the next module's input."""
+        wl = googlenet(1)
+        convs = [l for l in wl.layers if isinstance(l, ConvLayer)]
+        inc3a = [l for l in convs if l.name.startswith("inc3a/")]
+        out = sum(
+            l.out_c for l in inc3a if not l.name.endswith("_reduce")
+            and "reduce" not in l.name
+        )
+        # 64 + 128 + 32 + 32 = 256 feeds inception 3b.
+        branch_out = {l.name: l.out_c for l in inc3a}
+        total = (
+            branch_out["inc3a/1x1"]
+            + branch_out["inc3a/3x3"]
+            + branch_out["inc3a/5x5"]
+            + branch_out["inc3a/pool_proj"]
+        )
+        assert total == 256
+        inc3b = [l for l in convs if l.name == "inc3b/1x1"][0]
+        assert inc3b.in_c == 256
+
+
+class TestResNet50:
+    def test_structure(self):
+        wl = resnet50(1)
+        convs = [l for l in wl.layers if isinstance(l, ConvLayer)]
+        # 1 stem + 3*(3+4+6+3) main-path + 4 projection convs.
+        assert len(convs) == 1 + 3 * 16 + 4
+
+    def test_parameter_count_matches_published(self):
+        """ResNet-50 has ~25.5 M parameters."""
+        params = resnet50(1).total_weight_bytes() / 4
+        assert 23e6 < params < 28e6
+
+    def test_stage_widths(self):
+        wl = resnet50(1)
+        final_fc = wl.layers[-1]
+        assert isinstance(final_fc, DenseLayer)
+        assert final_fc.in_features == 2048
+
+
+class TestRNNs:
+    def test_vanilla_is_single_gate(self):
+        wl = vanilla_rnn(1)
+        layer = wl.layers[0]
+        assert layer.gates == 1
+        assert layer.gemm_n == layer.hidden_size
+
+    def test_lstm_has_four_gates(self):
+        for wl in (lstm_medium(1), lstm_large(1)):
+            layer = wl.layers[0]
+            assert layer.gates == 4
+            assert layer.gemm_n == 4 * layer.hidden_size
+
+    def test_gemm_k_concatenates_input_and_hidden(self):
+        layer = lstm_medium(2).layers[0]
+        assert layer.gemm_k == layer.input_size + layer.hidden_size
+
+    def test_weights_exceed_w_scratchpad(self):
+        """The paper's RNNs must re-stream weights per timestep: verify the
+        per-timestep matrix really exceeds the 5 MB tile budget."""
+        for wl in (vanilla_rnn(1), lstm_medium(1), lstm_large(1)):
+            layer = wl.layers[0]
+            assert layer.gemm_k * layer.gemm_n * 4 > 5 * 1024 * 1024
+
+    def test_recurrent_layer_validation(self):
+        with pytest.raises(ValueError):
+            RecurrentLayer("x", 1, 8, 8, seq_len=1, gates=2)
+        with pytest.raises(ValueError):
+            RecurrentLayer("x", 1, 8, 8, seq_len=0)
+
+
+class TestRegistry:
+    def test_all_six_networks(self):
+        assert set(DENSE_WORKLOADS) == {
+            "CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3",
+        }
+
+    def test_dense_workload_lookup(self):
+        wl = dense_workload("CNN-1", 4)
+        assert wl.batch == 4
+        with pytest.raises(KeyError):
+            dense_workload("CNN-9")
+
+    def test_dense_suite_grid(self):
+        suite = dense_suite()
+        assert len(suite) == 6 * len(DENSE_BATCHES)
+
+    def test_common_layer_workloads(self):
+        for name in DENSE_WORKLOADS:
+            wl = common_layer_workload(name, 64)
+            assert wl.batch == 64
+            assert wl.layer_count == 1
+        with pytest.raises(KeyError):
+            common_layer_workload("nope", 1)
+
+
+class TestEmbeddingModels:
+    def test_vector_is_hundreds_of_bytes(self):
+        """Section III-A: 'a single embedding is only hundreds of bytes'."""
+        for model in (ncf(), dlrm()):
+            for table in model.tables:
+                assert 100 <= table.vector_bytes <= 1024
+
+    def test_ncf_structure(self):
+        model = ncf()
+        assert len(model.tables) == 2
+        assert model.interaction == "elementwise"
+        assert model.bottom_mlp is None
+
+    def test_dlrm_structure(self):
+        model = dlrm()
+        assert len(model.tables) == 8
+        assert model.interaction == "dot"
+        assert model.bottom_mlp is not None
+        assert model.lookups_per_table > 1  # multi-hot pooled lookups
+
+    def test_footprint_is_multi_gb(self):
+        """The premise of Section III: tables exceed single-NPU memory."""
+        assert dlrm().embedding_bytes > 8 * 1024**3
+
+    def test_gathered_bytes_per_sample(self):
+        model = ncf()
+        assert model.gathered_bytes_per_sample() == 2 * 64 * 4
+
+    def test_mlp_stack_math(self):
+        stack = MLPStack("m", (8, 4, 2))
+        assert stack.layer_dims == [(8, 4), (4, 2)]
+        assert stack.weight_bytes == (32 + 8) * 4
+        assert stack.macs(3) == 3 * (32 + 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec("t", 0, 64)
+        with pytest.raises(ValueError):
+            MLPStack("m", (8,))
+        with pytest.raises(ValueError):
+            RecSysModel(
+                name="x",
+                tables=(),
+                lookups_per_table=1,
+                bottom_mlp=None,
+                top_mlp=MLPStack("m", (2, 1)),
+                interaction="dot",
+            )
+
+
+class TestZipfSampler:
+    def test_uniform_mode_in_bounds(self):
+        sampler = ZipfSampler(s=0.0, seed=1)
+        rows = sampler.sample(1000, 500)
+        assert rows.min() >= 0
+        assert rows.max() < 1000
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(s=1.1, seed=5).sample(10_000, 200)
+        b = ZipfSampler(s=1.1, seed=5).sample(10_000, 200)
+        assert np.array_equal(a, b)
+
+    def test_skewed_mode_concentrates(self):
+        """Higher exponent ⇒ fewer distinct rows in the same sample size."""
+        flat = ZipfSampler(s=0.0, seed=2).sample(100_000, 5000)
+        skew = ZipfSampler(s=1.3, seed=2).sample(100_000, 5000)
+        assert len(np.unique(skew)) < len(np.unique(flat)) * 0.7
+
+    def test_zero_count(self):
+        assert len(ZipfSampler().sample(10, 0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(s=-1)
+        with pytest.raises(ValueError):
+            ZipfSampler().sample(0, 5)
+        with pytest.raises(ValueError):
+            ZipfSampler().sample(10, -1)
