@@ -2,11 +2,11 @@
 
 from repro.analysis import fig8_baseline_iommu
 
-from .common import batch_grid, emit, run_once
+from .common import batch_grid, emit, experiment_runner, run_once
 
 
 def bench_fig08(benchmark):
-    figure = run_once(benchmark, lambda: fig8_baseline_iommu(batches=batch_grid()))
+    figure = run_once(benchmark, lambda: fig8_baseline_iommu(batches=batch_grid(), runner=experiment_runner()))
     emit(figure)
     # Paper: ~95% average performance loss vs the oracular MMU.
     assert figure.mean("normalized_perf") < 0.25

@@ -2,11 +2,11 @@
 
 from repro.analysis import fig10_prmb_sweep
 
-from .common import batch_grid, emit, run_once
+from .common import batch_grid, emit, experiment_runner, run_once
 
 
 def bench_fig10(benchmark):
-    figure = run_once(benchmark, lambda: fig10_prmb_sweep(batches=batch_grid()))
+    figure = run_once(benchmark, lambda: fig10_prmb_sweep(batches=batch_grid(), runner=experiment_runner()))
     emit(figure)
     # More merge capacity monotonically recovers performance (Figure 10).
     assert figure.mean("prmb32") >= figure.mean("prmb1")

@@ -2,11 +2,11 @@
 
 from repro.analysis import fig11_ptw_sweep
 
-from .common import batch_grid, emit, run_once
+from .common import batch_grid, emit, experiment_runner, run_once
 
 
 def bench_fig11(benchmark):
-    figure = run_once(benchmark, lambda: fig11_ptw_sweep(batches=batch_grid()))
+    figure = run_once(benchmark, lambda: fig11_ptw_sweep(batches=batch_grid(), runner=experiment_runner()))
     emit(figure)
     # Paper: 128 walkers close the gap to ~99% of the oracle.
     assert figure.mean("ptw128") > 0.9

@@ -2,11 +2,11 @@
 
 from repro.analysis import fig12a_ptw_no_prmb
 
-from .common import batch_grid, emit, run_once
+from .common import batch_grid, emit, experiment_runner, run_once
 
 
 def bench_fig12a(benchmark):
-    figure = run_once(benchmark, lambda: fig12a_ptw_no_prmb(batches=batch_grid()))
+    figure = run_once(benchmark, lambda: fig12a_ptw_no_prmb(batches=batch_grid(), runner=experiment_runner()))
     emit(figure)
     # Without merging, 128 walkers are not enough; ~1024 are (Figure 12a).
     assert figure.mean("ptw1024") > figure.mean("ptw128")

@@ -2,11 +2,13 @@
 
 from repro.analysis import fig12b_energy_sweep
 
-from .common import emit, run_once
+from .common import emit, experiment_runner, run_once
 
 
 def bench_fig12b(benchmark):
-    figure = run_once(benchmark, fig12b_energy_sweep)
+    figure = run_once(
+        benchmark, lambda: fig12b_energy_sweep(runner=experiment_runner())
+    )
     emit(figure)
     nominal = figure.value("[32,128]", "normalized_energy")
     extreme = figure.value("[1,4096]", "normalized_energy")

@@ -2,12 +2,12 @@
 
 from repro.analysis import fig13_tpreg_hit_rates
 
-from .common import batch_grid, emit, run_once
+from .common import batch_grid, emit, experiment_runner, run_once
 
 
 def bench_fig13(benchmark):
     figure = run_once(
-        benchmark, lambda: fig13_tpreg_hit_rates(batches=batch_grid())
+        benchmark, lambda: fig13_tpreg_hit_rates(batches=batch_grid(), runner=experiment_runner())
     )
     emit(figure)
     # Paper: ~99.5% / 99.5% / 63.1% average tag-match rates.

@@ -3,11 +3,11 @@ walk-traffic savings."""
 
 from repro.analysis import headline_claims
 
-from .common import batch_grid, emit, run_once
+from .common import batch_grid, emit, experiment_runner, run_once
 
 
 def bench_headline(benchmark):
-    figure = run_once(benchmark, lambda: headline_claims(batches=batch_grid()))
+    figure = run_once(benchmark, lambda: headline_claims(batches=batch_grid(), runner=experiment_runner()))
     emit(figure)
     assert figure.mean("neummu_perf") > 0.97
     assert figure.mean("iommu_perf") < 0.25

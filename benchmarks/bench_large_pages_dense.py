@@ -2,11 +2,13 @@
 
 from repro.analysis import large_pages_dense
 
-from .common import emit, run_once
+from .common import emit, experiment_runner, run_once
 
 
 def bench_large_pages(benchmark):
-    figure = run_once(benchmark, large_pages_dense)
+    figure = run_once(
+        benchmark, lambda: large_pages_dense(runner=experiment_runner())
+    )
     emit(figure)
     # Paper: IOMMU overhead falls to ~4% average with 2 MB pages.
     assert figure.mean("iommu_2m") > 0.85

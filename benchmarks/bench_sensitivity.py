@@ -2,18 +2,20 @@
 
 from repro.analysis import sensitivity_large_batch, sensitivity_tlb
 
-from .common import emit, run_once
+from .common import emit, experiment_runner, run_once
 
 
 def bench_sens_tlb(benchmark):
-    figure = run_once(benchmark, sensitivity_tlb)
+    figure = run_once(benchmark, lambda: sensitivity_tlb(runner=experiment_runner()))
     emit(figure)
     # Section III-C: TLB capacity is not the bottleneck for NPU bursts.
     assert abs(figure.mean("tlb2048") - figure.mean("tlb128")) < 0.05
 
 
 def bench_sens_large_batch(benchmark):
-    figure = run_once(benchmark, sensitivity_large_batch)
+    figure = run_once(
+        benchmark, lambda: sensitivity_large_batch(runner=experiment_runner())
+    )
     emit(figure)
     # Paper: IOMMU ~5.9% of oracle at large batch; NeuMMU ~99.9%.
     assert figure.mean("neummu_perf") > 0.95

@@ -9,6 +9,10 @@ Environment knobs:
 * ``NEUMMU_FULL=1`` — run the paper's full b01/b04/b08 batch grid for the
   dense sweeps (default: b01+b08, which preserves every trend at roughly
   half the runtime).
+* ``NEUMMU_JOBS=N`` — shard sweep grid points across N worker processes
+  (0 = all CPUs; default 1 = serial).
+* ``NEUMMU_CACHE_DIR=path`` — persist simulation results on disk so
+  repeated benchmark runs skip already-simulated grid points.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from __future__ import annotations
 import os
 import sys
 from pathlib import Path
-from typing import Tuple
+from typing import Optional, Tuple
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -26,6 +30,27 @@ def batch_grid() -> Tuple[int, ...]:
     if os.environ.get("NEUMMU_FULL"):
         return (1, 4, 8)
     return (1, 8)
+
+
+def jobs() -> int:
+    """Worker-process count for sweeps (``NEUMMU_JOBS``, default serial)."""
+    return int(os.environ.get("NEUMMU_JOBS", "1"))
+
+
+def cache_dir() -> Optional[Path]:
+    """On-disk result-cache directory (``NEUMMU_CACHE_DIR``), if set."""
+    value = os.environ.get("NEUMMU_CACHE_DIR")
+    return Path(value) if value else None
+
+
+def experiment_runner(**overrides):
+    """An :class:`~repro.analysis.runner.ExperimentRunner` honouring the
+    ``NEUMMU_JOBS``/``NEUMMU_CACHE_DIR`` environment knobs."""
+    from repro.analysis.runner import ExperimentRunner
+
+    overrides.setdefault("jobs", jobs())
+    overrides.setdefault("cache_dir", cache_dir())
+    return ExperimentRunner(**overrides)
 
 
 def emit(figure) -> None:

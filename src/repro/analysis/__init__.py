@@ -31,6 +31,7 @@ from .experiments import (
     tpc_vs_uptc,
 )
 from .figures import FigureResult, Series, geometric_mean
+from .parallel import ParallelRunner, ResultCache, RunRequest, request_key
 from .runner import ExperimentRunner, dense_pairs
 
 __all__ = [
@@ -39,6 +40,9 @@ __all__ = [
     "PTW_SWEEP",
     "ExperimentRunner",
     "FigureResult",
+    "ParallelRunner",
+    "ResultCache",
+    "RunRequest",
     "Series",
     "dense_pairs",
     "fig6_page_divergence",
@@ -60,6 +64,7 @@ __all__ = [
     "prefetch_ablation",
     "sensitivity_large_batch",
     "sensitivity_tlb",
+    "request_key",
     "spatial_npu",
     "table1_config",
     "tpc_vs_uptc",

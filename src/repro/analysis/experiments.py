@@ -24,10 +24,11 @@ from ..sparse.recsys import TRANSPORTS, RecSysSystem
 from ..workloads.embedding import dlrm, ncf
 from ..workloads.registry import (
     DENSE_BATCHES,
-    common_layer_workload,
+    CommonLayerFactory,
     dense_workload,
 )
 from .figures import FigureResult, Series, geometric_mean
+from .parallel import RunRequest
 from .runner import ExperimentRunner, dense_pairs
 
 #: Figure 10's sweep of PRMB mergeable slots.
@@ -176,8 +177,9 @@ def fig8_baseline_iommu(
         notes=["paper: average ~0.05 (95% overhead)"],
     )
     config = baseline_iommu_config()
-    for label, factory in dense_pairs(batches):
-        norm, _ = runner.normalized(label, factory, config)
+    pairs = dense_pairs(batches)
+    requests = [RunRequest(label, factory, config) for label, factory in pairs]
+    for (label, _), (norm, _) in zip(pairs, runner.normalized_many(requests)):
         fig.add(label, normalized_perf=norm)
     fig.notes.append(f"measured average: {fig.mean('normalized_perf'):.3f}")
     return fig
@@ -202,14 +204,19 @@ def fig10_prmb_sweep(
         columns=columns,
         notes=["paper: 8-32 slots capture the burst locality; avg plateau ~0.11"],
     )
-    for label, factory in dense_pairs(batches):
-        values: Dict[str, float] = {}
-        for n in slots:
-            config = MMUConfig(
-                name=f"prmb{n}", n_walkers=8, prmb_slots=n, path_cache="none"
-            )
-            norm, _ = runner.normalized(label, factory, config)
-            values[f"prmb{n}"] = norm
+    pairs = dense_pairs(batches)
+    requests = [
+        RunRequest(
+            label,
+            factory,
+            MMUConfig(name=f"prmb{n}", n_walkers=8, prmb_slots=n, path_cache="none"),
+        )
+        for label, factory in pairs
+        for n in slots
+    ]
+    normalized = iter(runner.normalized_many(requests))
+    for label, _ in pairs:
+        values = {f"prmb{n}": next(normalized)[0] for n in slots}
         fig.rows.append(Series(label=label, values=values))
     for n in slots:
         fig.notes.append(f"avg prmb{n}: {fig.mean(f'prmb{n}'):.3f}")
@@ -233,17 +240,24 @@ def _ptw_sweep(
     runner = runner or ExperimentRunner()
     columns = [f"ptw{n}" for n in ptws]
     fig = FigureResult(figure_id=figure_id, title=title, columns=columns, notes=notes)
-    for label, factory in dense_pairs(batches):
-        values: Dict[str, float] = {}
-        for n in ptws:
-            config = MMUConfig(
+    pairs = dense_pairs(batches)
+    requests = [
+        RunRequest(
+            label,
+            factory,
+            MMUConfig(
                 name=f"ptw{n}",
                 n_walkers=n,
                 prmb_slots=prmb_slots,
                 path_cache="none",
-            )
-            norm, _ = runner.normalized(label, factory, config)
-            values[f"ptw{n}"] = norm
+            ),
+        )
+        for label, factory in pairs
+        for n in ptws
+    ]
+    normalized = iter(runner.normalized_many(requests))
+    for label, _ in pairs:
+        values = {f"ptw{n}": next(normalized)[0] for n in ptws}
         fig.rows.append(Series(label=label, values=values))
     for n in ptws:
         fig.notes.append(f"avg ptw{n}: {fig.mean(f'ptw{n}'):.3f}")
@@ -313,17 +327,26 @@ def fig12b_energy_sweep(
     workloads = dense_pairs(batches)
     energies: Dict[Tuple[int, int], float] = {}
     perfs: Dict[Tuple[int, int], float] = {}
-    for slots, walkers in pairs:
-        config = MMUConfig(
-            name=f"[{slots},{walkers}]",
-            n_walkers=walkers,
-            prmb_slots=slots,
-            path_cache="none",
+    requests = [
+        RunRequest(
+            label,
+            factory,
+            MMUConfig(
+                name=f"[{slots},{walkers}]",
+                n_walkers=walkers,
+                prmb_slots=slots,
+                path_cache="none",
+            ),
         )
+        for slots, walkers in pairs
+        for label, factory in workloads
+    ]
+    normalized = iter(runner.normalized_many(requests))
+    for slots, walkers in pairs:
         per_wl_perf: List[float] = []
         per_wl_energy: List[float] = []
-        for label, factory in workloads:
-            norm, result = runner.normalized(label, factory, config)
+        for _ in workloads:
+            norm, result = next(normalized)
             per_wl_perf.append(norm)
             breakdown = translation_energy(result.mmu_summary)
             per_wl_energy.append(breakdown.total_pj)
@@ -356,8 +379,11 @@ def fig13_tpreg_hit_rates(
         columns=["l4", "l3", "l2"],
         notes=["paper (TPC, avg): L4 99.5% / L3 99.5% / L2 63.1%"],
     )
-    for label, factory in dense_pairs(batches):
-        result = runner.run(label, factory, neummu_config())
+    pairs = dense_pairs(batches)
+    requests = [
+        RunRequest(label, factory, neummu_config()) for label, factory in pairs
+    ]
+    for (label, _), result in zip(pairs, runner.run_many(requests)):
         summary = result.mmu_summary
         fig.add(
             label,
@@ -481,13 +507,18 @@ def headline_claims(
             "walk_access_ratio",
         ],
     )
-    for label, factory in dense_pairs(batches):
-        iommu_norm, iommu_result = runner.normalized(
-            label, factory, baseline_iommu_config()
-        )
-        neummu_norm, neummu_result = runner.normalized(
-            label, factory, neummu_config()
-        )
+    pairs = dense_pairs(batches)
+    requests = [
+        RunRequest(label, factory, config)
+        for config in (baseline_iommu_config(), neummu_config())
+        for label, factory in pairs
+    ]
+    results = runner.normalized_many(requests)
+    iommu_results = results[: len(pairs)]
+    neummu_results = results[len(pairs):]
+    for (label, _), (iommu_norm, iommu_result), (neummu_norm, neummu_result) in zip(
+        pairs, iommu_results, neummu_results
+    ):
         iommu_energy = translation_energy(iommu_result.mmu_summary)
         neummu_energy = translation_energy(neummu_result.mmu_summary, uses_tpreg=True)
         iommu_walk = max(1, iommu_result.mmu_summary.walk_level_accesses)
@@ -611,14 +642,22 @@ def large_pages_dense(
         columns=["iommu_2m", "neummu_2m", "iommu_4k"],
         notes=["paper: IOMMU overhead drops to ~4% average with 2 MB pages"],
     )
-    for label, factory in dense_pairs(batches):
-        iommu_2m, _ = runner.normalized(
-            label, factory, baseline_iommu_config(page_size=PAGE_SIZE_2M)
-        )
-        neummu_2m, _ = runner.normalized(
-            label, factory, neummu_config(page_size=PAGE_SIZE_2M)
-        )
-        iommu_4k, _ = runner.normalized(label, factory, baseline_iommu_config())
+    pairs = dense_pairs(batches)
+    grid = [
+        baseline_iommu_config(page_size=PAGE_SIZE_2M),
+        neummu_config(page_size=PAGE_SIZE_2M),
+        baseline_iommu_config(),
+    ]
+    requests = [
+        RunRequest(label, factory, config)
+        for label, factory in pairs
+        for config in grid
+    ]
+    normalized = iter(runner.normalized_many(requests))
+    for label, _ in pairs:
+        iommu_2m, _ = next(normalized)
+        neummu_2m, _ = next(normalized)
+        iommu_4k, _ = next(normalized)
         fig.add(label, iommu_2m=iommu_2m, neummu_2m=neummu_2m, iommu_4k=iommu_4k)
     fig.notes.append(
         f"avg IOMMU 2M {fig.mean('iommu_2m'):.3f} vs 4K {fig.mean('iommu_4k'):.3f}"
@@ -699,13 +738,21 @@ def sensitivity_large_batch(
         columns=["iommu_perf", "neummu_perf"],
         notes=["paper: IOMMU ~5.9% of oracle; NeuMMU ~99.9%"],
     )
-    for name in ("CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"):
-        for batch in batches:
-            label = f"{name}/b{batch}"
-            factory = lambda n=name, b=batch: common_layer_workload(n, b)
-            iommu_norm, _ = runner.normalized(label, factory, baseline_iommu_config())
-            neummu_norm, _ = runner.normalized(label, factory, neummu_config())
-            fig.add(label, iommu_perf=iommu_norm, neummu_perf=neummu_norm)
+    points = [
+        (f"{name}/b{batch}", CommonLayerFactory(name, batch))
+        for name in ("CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3")
+        for batch in batches
+    ]
+    requests = [
+        RunRequest(label, factory, config)
+        for label, factory in points
+        for config in (baseline_iommu_config(), neummu_config())
+    ]
+    normalized = iter(runner.normalized_many(requests))
+    for label, _ in points:
+        iommu_norm, _ = next(normalized)
+        neummu_norm, _ = next(normalized)
+        fig.add(label, iommu_perf=iommu_norm, neummu_perf=neummu_norm)
     fig.notes.append(
         f"avg IOMMU {fig.mean('iommu_perf'):.3f} | avg NeuMMU {fig.mean('neummu_perf'):.4f}"
     )

@@ -1,0 +1,262 @@
+"""Process-parallel experiment execution with on-disk result caching.
+
+The paper's design-space sweeps (Figures 10-12 alone cover PRMB slots ×
+walker counts × page sizes × six networks) are embarrassingly parallel:
+every ``(workload, MMUConfig)`` grid point is an independent simulation.
+:class:`ParallelRunner` shards such grids across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and memoizes finished
+:class:`~repro.npu.simulator.RunResult`\\ s on disk, keyed by a stable hash
+of everything that determines the result — the workload label, the MMU and
+NPU configurations, the fidelity mode, the warmup count and the compute
+model.  Re-running a sweep with a warm cache costs milliseconds.
+
+Grid points are described by :class:`RunRequest`.  The workload factory it
+carries must be *picklable* — module-level functions and the dataclass
+factories in :mod:`repro.workloads.registry`
+(:class:`~repro.workloads.registry.DenseWorkloadFactory`,
+:class:`~repro.workloads.registry.CommonLayerFactory`) qualify; closures
+do not.
+
+Determinism: a simulation's outcome does not depend on which process runs
+it, so ``jobs=N`` produces results identical to the serial path —
+``tests/test_parallel.py`` locks this in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.mmu import MMUConfig
+from ..npu.config import NPUConfig
+from ..npu.simulator import Fidelity, NPUSimulator, RunResult
+
+#: Bump when simulation semantics change in a way that invalidates old
+#: cached results (the cache key embeds it).
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One grid point: a labelled workload under one MMU configuration."""
+
+    label: str
+    factory: Callable[[], object]
+    mmu_config: MMUConfig
+
+
+def _canonical(obj) -> object:
+    """JSON-ready canonical form of configuration-like values."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _canonical(v) for k, v in sorted(asdict(obj).items())}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, Fidelity):
+        return obj.value
+    # Fall back to the type identity (e.g. a compute-model class).
+    return type(obj).__qualname__
+
+
+def factory_token(factory: object) -> str:
+    """Stable identity of a workload factory for cache keying.
+
+    Labels alone are not unique across experiments (the dense suite and
+    the common-layer study can both emit ``CNN-1/b32``), so the factory's
+    own identity joins every cache key.  Dataclass factories
+    (:class:`~repro.workloads.registry.DenseWorkloadFactory` etc.) token
+    stably by type + fields; arbitrary callables fall back to ``repr``,
+    which is process-unique — correct, merely uncacheable across runs.
+    """
+    if factory is None:
+        return "none"
+    if is_dataclass(factory) and not isinstance(factory, type):
+        return json.dumps(
+            [type(factory).__qualname__, _canonical(factory)], sort_keys=True
+        )
+    return repr(factory)
+
+
+def request_key(
+    label: str,
+    mmu_config: MMUConfig,
+    npu_config: NPUConfig,
+    fidelity: Fidelity,
+    warmup: int,
+    compute_model: object = None,
+    factory: object = None,
+) -> str:
+    """Stable hex digest identifying one simulation's full configuration."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "label": label,
+            "factory": factory_token(factory),
+            "mmu": _canonical(mmu_config),
+            "npu": _canonical(npu_config),
+            "fidelity": fidelity.value,
+            "warmup": warmup,
+            "compute_model": _canonical(compute_model),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-file store for finished :class:`RunResult`\\ s.
+
+    Writes are atomic (temp file + rename) so concurrent workers and
+    concurrent sweep processes can share one directory safely.
+    """
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for ``key``, or None (corrupt entries read as misses)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+def _execute(payload: Tuple) -> RunResult:
+    """Worker entry point: run one simulation (must stay module-level)."""
+    factory, mmu_config, npu_config, compute_model, fidelity_value, warmup = payload
+    sim = NPUSimulator(
+        factory(),
+        mmu_config,
+        npu_config=npu_config,
+        compute_model=compute_model,
+        fidelity=Fidelity(fidelity_value),
+        warmup=warmup,
+    )
+    return sim.run()
+
+
+class ParallelRunner:
+    """Shards ``(workload, MMUConfig)`` grid points across processes.
+
+    ``jobs <= 1`` runs everything in-process (no executor overhead) but
+    still consults the cache; results are identical either way.  With
+    ``cache_dir`` unset, no on-disk caching happens.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Path] = None,
+        npu_config: Optional[NPUConfig] = None,
+        compute_model: object = None,
+        fidelity: Fidelity = Fidelity.FAST,
+        warmup: int = 4,
+    ):
+        if jobs < 0:
+            raise ValueError(f"jobs cannot be negative, got {jobs}")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.npu_config = npu_config or NPUConfig()
+        self.compute_model = compute_model
+        self.fidelity = fidelity
+        self.warmup = warmup
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        #: Grid points actually simulated (cache misses) since construction.
+        self.simulated = 0
+
+    # ------------------------------------------------------------------ #
+
+    def key_of(self, request: RunRequest) -> str:
+        """Cache key of one request under this runner's configuration."""
+        return request_key(
+            request.label,
+            request.mmu_config,
+            self.npu_config,
+            self.fidelity,
+            self.warmup,
+            self.compute_model,
+            factory=request.factory,
+        )
+
+    def _payload(self, request: RunRequest) -> Tuple:
+        return (
+            request.factory,
+            request.mmu_config,
+            self.npu_config,
+            self.compute_model,
+            self.fidelity.value,
+            self.warmup,
+        )
+
+    def run_many(self, requests: Sequence[RunRequest]) -> List[RunResult]:
+        """Run every request; returns results in request order.
+
+        Cached results are returned without simulating; the remainder is
+        sharded across ``jobs`` worker processes (or run inline for
+        ``jobs=1``/single pending requests).
+        """
+        results: List[Optional[RunResult]] = [None] * len(requests)
+        pending: List[Tuple[int, Optional[str]]] = []
+        for idx, request in enumerate(requests):
+            key = self.key_of(request) if self.cache is not None else None
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[idx] = cached
+            else:
+                pending.append((idx, key))
+
+        if pending:
+            self.simulated += len(pending)
+            if self.jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending))
+                ) as pool:
+                    futures = [
+                        pool.submit(_execute, self._payload(requests[idx]))
+                        for idx, _ in pending
+                    ]
+                    for (idx, key), future in zip(pending, futures):
+                        results[idx] = future.result()
+                        if self.cache is not None:
+                            self.cache.put(key, results[idx])
+            else:
+                for idx, key in pending:
+                    results[idx] = _execute(self._payload(requests[idx]))
+                    if self.cache is not None:
+                        self.cache.put(key, results[idx])
+        return results  # type: ignore[return-value]
+
+    def run_one(self, request: RunRequest) -> RunResult:
+        """Run a single request through the same cache-aware path."""
+        return self.run_many([request])[0]

@@ -4,11 +4,20 @@ The figure experiments all follow the same skeleton — run the dense suite
 under some MMU configuration and normalize against the oracle — so the
 oracle runs (one per workload × page size) are cached here and reused
 across sweep points.
+
+Execution routes through :class:`~repro.analysis.parallel.ParallelRunner`:
+the default ``jobs=1`` keeps everything serial and in-process (identical
+to the historical behaviour), while ``jobs=N`` shards grid points across
+worker processes and ``cache_dir`` adds persistent result caching.  The
+batch entry points :meth:`ExperimentRunner.run_many` /
+:meth:`ExperimentRunner.normalized_many` are what the sweep experiments
+use, so a whole figure's grid is in flight at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.mmu import MMUConfig, oracle_config
@@ -16,40 +25,57 @@ from ..memory.address import PAGE_SIZE_4K
 from ..npu.config import NPUConfig
 from ..npu.simulator import Fidelity, NPUSimulator, RunResult
 from ..workloads.cnn import Workload
-from ..workloads.registry import DENSE_BATCHES, DENSE_WORKLOADS
+from ..workloads.registry import DENSE_BATCHES, DENSE_WORKLOADS, DenseWorkloadFactory
+from .parallel import ParallelRunner, RunRequest, factory_token
 
 #: (display label, workload factory) pair.
 WorkloadPair = Tuple[str, Callable[[], Workload]]
 
 
 def dense_pairs(batches: Sequence[int] = DENSE_BATCHES) -> List[WorkloadPair]:
-    """The paper's dense evaluation grid: 6 networks × batch sizes."""
+    """The paper's dense evaluation grid: 6 networks × batch sizes.
+
+    Factories are picklable (:class:`DenseWorkloadFactory`), so the pairs
+    feed both the serial and the process-parallel execution paths.
+    """
     pairs: List[WorkloadPair] = []
-    for name, factory in DENSE_WORKLOADS.items():
+    for name in DENSE_WORKLOADS:
         for batch in batches:
             label = f"{name}/b{batch:02d}"
-            pairs.append((label, _bind(factory, batch)))
+            pairs.append((label, DenseWorkloadFactory(name, batch)))
     return pairs
-
-
-def _bind(factory: Callable[[int], Workload], batch: int) -> Callable[[], Workload]:
-    def make() -> Workload:
-        return factory(batch)
-
-    return make
 
 
 @dataclass
 class ExperimentRunner:
-    """Runs workloads under MMU configs with oracle-result caching."""
+    """Runs workloads under MMU configs with oracle-result caching.
+
+    ``jobs``/``cache_dir`` configure the underlying
+    :class:`~repro.analysis.parallel.ParallelRunner`; the defaults keep
+    execution serial, uncached and bit-identical to the historical runner.
+    """
 
     npu_config: NPUConfig = field(default_factory=NPUConfig)
     compute_model: object = None
     fidelity: Fidelity = Fidelity.FAST
     warmup: int = 4
+    jobs: int = 1
+    cache_dir: Optional[Path] = None
 
     def __post_init__(self) -> None:
-        self._oracle_cache: Dict[Tuple[str, int], RunResult] = {}
+        self._oracle_cache: Dict[Tuple[str, int, str], RunResult] = {}
+        self._parallel = ParallelRunner(
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            npu_config=self.npu_config,
+            compute_model=self.compute_model,
+            fidelity=self.fidelity,
+            warmup=self.warmup,
+        )
+
+    # ------------------------------------------------------------------ #
+    # single runs                                                        #
+    # ------------------------------------------------------------------ #
 
     def run(
         self,
@@ -58,17 +84,23 @@ class ExperimentRunner:
         mmu_config: MMUConfig,
         **kwargs,
     ) -> RunResult:
-        """One simulation; kwargs forward to :class:`NPUSimulator`."""
-        sim = NPUSimulator(
-            factory(),
-            mmu_config,
-            npu_config=self.npu_config,
-            compute_model=self.compute_model,
-            fidelity=self.fidelity,
-            warmup=self.warmup,
-            **kwargs,
-        )
-        return sim.run()
+        """One simulation; kwargs forward to :class:`NPUSimulator`.
+
+        Extra simulator kwargs (tracing, timeline windows, ...) bypass the
+        result cache, since the cache key does not cover them.
+        """
+        if kwargs:
+            sim = NPUSimulator(
+                factory(),
+                mmu_config,
+                npu_config=self.npu_config,
+                compute_model=self.compute_model,
+                fidelity=self.fidelity,
+                warmup=self.warmup,
+                **kwargs,
+            )
+            return sim.run()
+        return self._parallel.run_one(RunRequest(label, factory, mmu_config))
 
     def oracle(
         self,
@@ -76,8 +108,13 @@ class ExperimentRunner:
         factory: Callable[[], Workload],
         page_size: int = PAGE_SIZE_4K,
     ) -> RunResult:
-        """Oracle run for ``label``, cached across sweep points."""
-        key = (label, page_size)
+        """Oracle run for ``label``, cached across sweep points.
+
+        The cache key includes the factory identity: labels alone are not
+        unique across experiments (dense ``CNN-1/b32`` vs the common-layer
+        study's ``CNN-1/b32`` are different workloads).
+        """
+        key = (label, page_size, factory_token(factory))
         cached = self._oracle_cache.get(key)
         if cached is None:
             cached = self.run(label, factory, oracle_config(page_size))
@@ -95,3 +132,52 @@ class ExperimentRunner:
         oracle = self.oracle(label, factory, mmu_config.page_size)
         candidate = self.run(label, factory, mmu_config, **kwargs)
         return (oracle.total_cycles / candidate.total_cycles, candidate)
+
+    # ------------------------------------------------------------------ #
+    # batch runs (what the sweep experiments use)                        #
+    # ------------------------------------------------------------------ #
+
+    def run_many(self, requests: Sequence[RunRequest]) -> List[RunResult]:
+        """Run a batch of grid points (parallel when ``jobs > 1``)."""
+        return self._parallel.run_many(requests)
+
+    def normalized_many(
+        self, requests: Sequence[RunRequest]
+    ) -> List[Tuple[float, RunResult]]:
+        """Normalized performance for a batch of grid points.
+
+        The required oracle baselines (one per distinct workload × page
+        size, minus those already cached) join the same batch, so with
+        ``jobs > 1`` oracles and candidates simulate concurrently.
+        """
+        oracle_needs: Dict[Tuple[str, int, str], Callable[[], Workload]] = {}
+        for request in requests:
+            key = (
+                request.label,
+                request.mmu_config.page_size,
+                factory_token(request.factory),
+            )
+            if key not in self._oracle_cache and key not in oracle_needs:
+                oracle_needs[key] = request.factory
+        oracle_requests = [
+            RunRequest(label, factory, oracle_config(page_size))
+            for (label, page_size, _), factory in oracle_needs.items()
+        ]
+        all_results = self._parallel.run_many(
+            list(oracle_requests) + list(requests)
+        )
+        for cache_key, result in zip(
+            oracle_needs, all_results[: len(oracle_requests)]
+        ):
+            self._oracle_cache[cache_key] = result
+        out: List[Tuple[float, RunResult]] = []
+        for request, result in zip(requests, all_results[len(oracle_requests):]):
+            oracle = self._oracle_cache[
+                (
+                    request.label,
+                    request.mmu_config.page_size,
+                    factory_token(request.factory),
+                )
+            ]
+            out.append((oracle.total_cycles / result.total_cycles, result))
+        return out

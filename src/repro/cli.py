@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -48,25 +49,26 @@ EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
     "overhead": analysis.overhead_area,
 }
 
+def _accepting(keyword: str) -> frozenset:
+    """Experiment names whose function accepts ``keyword``.
+
+    Derived from the signatures so newly added experiments cannot drift
+    out of sync with the CLI's capability lists.
+    """
+    return frozenset(
+        name
+        for name, func in EXPERIMENTS.items()
+        if keyword in inspect.signature(func).parameters
+    )
+
+
 #: Experiments that accept a ``batches`` keyword.
-_BATCHED = {
-    "fig6",
-    "fig8",
-    "fig10",
-    "fig11",
-    "fig12a",
-    "fig12b",
-    "fig13",
-    "fig15",
-    "fig16",
-    "tpc_vs_uptc",
-    "headline",
-    "large_pages",
-    "spatial",
-    "sens_tlb",
-    "prefetch",
-    "mltlb",
-}
+_BATCHED = _accepting("batches")
+
+#: Experiments that accept a ``runner`` keyword (and therefore honour
+#: ``--jobs``/``--cache-dir``).  ``spatial`` builds its own runner with a
+#: spatial-array compute model, so it naturally stays absent.
+_RUNNER_AWARE = _accepting("runner")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,6 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--chart", action="store_true", help="also render an ASCII bar chart"
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (0 = all CPUs)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk simulation-result cache",
+    )
 
     compare = sub.add_parser(
         "compare", help="oracle vs IOMMU vs NeuMMU on one workload"
@@ -111,6 +125,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batches", type=int, nargs="+", default=[1],
         help="batch grid for the underlying experiments",
     )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (0 = all CPUs)",
+    )
+    report.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk simulation-result cache",
+    )
     return parser
 
 
@@ -119,11 +145,14 @@ def _run_experiment(
     batches: Optional[Sequence[int]],
     out_dir: Optional[Path],
     chart: bool = False,
+    runner=None,
 ) -> FigureResult:
     func = EXPERIMENTS[name]
     kwargs = {}
     if batches is not None and name in _BATCHED:
         kwargs["batches"] = tuple(batches)
+    if runner is not None and name in _RUNNER_AWARE:
+        kwargs["runner"] = runner
     started = time.time()
     result = func(**kwargs)
     elapsed = time.time() - started
@@ -166,8 +195,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         names = [args.experiment]
+    runner = None
+    if args.jobs != 1 or args.cache_dir is not None:
+        from .analysis.runner import ExperimentRunner
+
+        # One shared runner also shares the oracle cache across experiments.
+        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     for name in names:
-        _run_experiment(name, args.batches, args.out, chart=args.chart)
+        _run_experiment(name, args.batches, args.out, chart=args.chart, runner=runner)
     return 0
 
 
@@ -191,7 +226,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import write_report
 
-    path = write_report(args.out, EXPERIMENTS, batches=tuple(args.batches))
+    experiments = EXPERIMENTS
+    if args.jobs != 1 or args.cache_dir is not None:
+        import functools
+
+        from .analysis.runner import ExperimentRunner
+
+        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+        experiments = {
+            name: (
+                functools.partial(func, runner=runner)
+                if name in _RUNNER_AWARE
+                else func
+            )
+            for name, func in EXPERIMENTS.items()
+        }
+    path = write_report(args.out, experiments, batches=tuple(args.batches))
     print(f"report written to {path}")
     return 0
 

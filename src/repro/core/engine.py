@@ -16,6 +16,32 @@ system:
 
 An oracular MMU makes every translation free, so the same engine computes
 the paper's normalization baseline.
+
+Two execution paths
+-------------------
+``run_burst`` retires transactions either through the *reference* path —
+one fully general Python iteration per transaction, routed through
+:meth:`MMU.translate` — or through the *batched* fast path (the default),
+which exploits the streaming structure of dense tile fetches: a 4 KB page
+sees a run of ~16 back-to-back same-page transactions (Section III-C), and
+within such a run every transaction resolves the same way (all TLB hits,
+or all PRMB merges into the same walker).  The fast path retires those
+runs with bulk counter updates — one TLB touch per run, one PRMB occupancy
+update per walker — and a tight arithmetic loop over the memory channels.
+
+For fully contiguous uniform 256 B runs (the DMA's streaming output, as
+certified by :class:`~repro.npu.dma.TransactionStream` run metadata) a
+further *closed form* applies: when no channel queueing can occur, only
+the last ``n_channels`` transactions' finish times are observable, so the
+bulk of the run reduces to an exact issue-cycle spin.
+
+The two paths are kept *bit-identical*: the batched path performs exactly
+the floating-point operation sequence of the reference path for every
+observable timing quantity, and interleaves walk retirements with TLB
+fills, PRMB drains and LRU updates in reference order (retirements that
+provably commute with a run's bulk — other pages' completions during a
+merge run — may be deferred to the run boundary).
+``tests/test_fastpath_parity.py`` enforces the equivalence.
 """
 
 from __future__ import annotations
@@ -62,6 +88,7 @@ class TranslationEngine:
         issue_interval: float = 1.0,
         timeline_window: int = 0,
         fault_handler: Optional[FaultHandler] = None,
+        batched: bool = True,
     ):
         if issue_interval <= 0:
             raise ValueError("issue interval must be positive")
@@ -70,9 +97,32 @@ class TranslationEngine:
         self.issue_interval = issue_interval
         self.timeline_window = timeline_window
         self.fault_handler = fault_handler
+        #: Enable the batched same-page fast path (set False to force the
+        #: per-transaction golden-reference path).
+        self.batched = batched
         #: window index -> number of translation requests issued in it
         #: (Figure 7's burst histogram).  Populated when timeline_window > 0.
         self.timeline: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _batchable(self) -> bool:
+        """Whether the fast path covers this engine's configuration.
+
+        Timeline capture needs a per-transaction histogram update, the
+        prefetcher hooks fire per TLB hit, and the two-level TLB's hit
+        latency depends on which level hits — all three fall back to the
+        reference path, as does an oracular MMU with a demand-paging
+        handler (whose faults route through :meth:`MMU.translate`).
+        """
+        if self.timeline_window:
+            return False
+        mmu = self.mmu
+        if mmu.config.oracle:
+            return self.fault_handler is None
+        return mmu.prefetcher is None and not mmu._two_level
 
     def run_burst(
         self, transactions: Sequence[Transaction], start_cycle: float
@@ -82,6 +132,19 @@ class TranslationEngine:
         ``transactions`` are issued in order at one per ``issue_interval``
         cycles, subject to translation-bandwidth blocking.
         """
+        if self.batched and self._batchable():
+            if self.mmu.config.oracle:
+                return self._run_burst_oracle(transactions, start_cycle)
+            return self._run_burst_batched(transactions, start_cycle)
+        return self._run_burst_reference(transactions, start_cycle)
+
+    # ------------------------------------------------------------------ #
+    # reference path (golden semantics, one iteration per transaction)   #
+    # ------------------------------------------------------------------ #
+
+    def _run_burst_reference(
+        self, transactions: Sequence[Transaction], start_cycle: float
+    ) -> BurstResult:
         mmu = self.mmu
         memory = self.memory
         vpn_shift = mmu._vpn_shift
@@ -89,13 +152,13 @@ class TranslationEngine:
         timeline = self.timeline
         interval = self.issue_interval
         fault_handler = self.fault_handler
-        oracle = mmu.config.oracle and fault_handler is None
         translate = mmu.translate
         process = mmu.process_completions
         heap = None if mmu.pool is None else mmu.pool.heap
 
         # Memory-channel state is inlined here — this loop runs millions of
-        # times per workload and the channel update is pure arithmetic.
+        # times per workload and the channel update is pure arithmetic
+        # (kept operation-for-operation identical to MainMemory.access).
         mem_cfg = memory.config
         channel_free = memory._channel_free
         n_channels = mem_cfg.channels
@@ -108,30 +171,26 @@ class TranslationEngine:
         total_bytes = 0
 
         for va, size in transactions:
-            if oracle:
-                mmu.stats.requests += 1
-                ready = cycle
-            else:
-                if heap is not None and heap and heap[0][0] <= cycle:
+            if heap is not None and heap and heap[0][0] <= cycle:
+                process(cycle)
+            vpn = va >> vpn_shift
+            while True:
+                try:
+                    ready, retry = translate(vpn, cycle)
+                except TranslationFault:
+                    if fault_handler is None:
+                        raise
+                    resolved = fault_handler(vpn, cycle)
+                    stall += resolved - cycle
+                    cycle = resolved
                     process(cycle)
-                vpn = va >> vpn_shift
-                while True:
-                    try:
-                        ready, retry = translate(vpn, cycle)
-                    except TranslationFault:
-                        if fault_handler is None:
-                            raise
-                        resolved = fault_handler(vpn, cycle)
-                        stall += resolved - cycle
-                        cycle = resolved
-                        process(cycle)
-                        continue
-                    if ready is None:
-                        stall += retry - cycle
-                        cycle = retry
-                        process(cycle)
-                        continue
-                    break
+                    continue
+                if ready is None:
+                    stall += retry - cycle
+                    cycle = retry
+                    process(cycle)
+                    continue
+                break
             if window:
                 key = int(cycle // window)
                 timeline[key] = timeline.get(key, 0) + 1
@@ -157,6 +216,595 @@ class TranslationEngine:
             bytes_moved=total_bytes,
             stall_cycles=stall,
         )
+
+    # ------------------------------------------------------------------ #
+    # oracle fast path                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _run_burst_oracle(
+        self, transactions: Sequence[Transaction], start_cycle: float
+    ) -> BurstResult:
+        """Oracle burst: translation is free but non-present pages fault.
+
+        The resolver is probed once per same-page run (its answer cannot
+        change mid-burst without a fault handler, and there is none on this
+        path), matching :meth:`MMU.translate`'s per-request semantics: an
+        unmapped page raises :class:`TranslationFault` and is counted in
+        ``stats.faults`` without being counted as a completed request.
+        """
+        mmu = self.mmu
+        memory = self.memory
+        stats = mmu.stats
+        resolve = mmu.resolver.resolve_vpn
+        vpn_shift = mmu._vpn_shift
+        interval = self.issue_interval
+
+        mem_cfg = memory.config
+        channel_free = memory._channel_free
+        n_channels = mem_cfg.channels
+        ch_bw = mem_cfg.channel_bandwidth
+        mem_latency = mem_cfg.access_latency_cycles
+
+        # Precomputed service time of the DMA's default 256 B transaction;
+        # bit-identical to the reference's per-transaction ``size / ch_bw``
+        # because float division is deterministic.
+        s_cycles = 256 / ch_bw
+        stream_ok = n_channels * interval >= s_cycles
+
+        cycle = start_cycle
+        data_end = start_cycle
+        total_bytes = 0
+        last_vpn = -1
+        counted = 0
+        n = len(transactions)
+
+        # DMA-provided run metadata (see _run_burst_batched).
+        meta = getattr(transactions, "runs", None)
+        if meta is not None and (
+            not meta
+            or getattr(transactions, "page_size", 0) != 1 << vpn_shift
+        ):
+            meta = None
+        rc = 0
+
+        try:
+            i = 0
+            while i < n:
+                va, size = transactions[i]
+                vpn = va >> vpn_shift
+                if vpn != last_vpn:
+                    if resolve(vpn) is None:
+                        stats.faults += 1
+                        raise TranslationFault(vpn)
+                    last_vpn = vpn
+                channel = (va >> 8) % n_channels
+                free_at = channel_free[channel]
+                start = cycle if cycle > free_at else free_at
+                finish = start + size / ch_bw
+                channel_free[channel] = finish
+                done = finish + mem_latency
+                if done > data_end:
+                    data_end = done
+                total_bytes += size
+                cycle += interval
+                counted += 1
+                i += 1
+                # Same-page continuation (translation already proven
+                # present for this page; only the memory arithmetic runs).
+                if i >= n or transactions[i][0] >> vpn_shift != vpn:
+                    continue
+                if meta is not None:
+                    while meta[rc][0] <= i:
+                        rc += 1
+                    j, streamable = meta[rc]
+                else:
+                    j = i + 1
+                    while j < n and transactions[j][0] >> vpn_shift == vpn:
+                        j += 1
+                    va0 = transactions[i][0]
+                    streamable = (
+                        j - i >= 2
+                        and transactions[i][1] == 256
+                        and transactions[j - 1][0] - va0 == (j - 1 - i) * 256
+                        and all(t[1] == 256 for t in transactions[i:j])
+                    )
+                span = j - i
+                va0 = transactions[i][0]
+                if (
+                    span >= 8
+                    and streamable
+                    and (span <= n_channels or stream_ok)
+                ):
+                    # Streaming closed form: a contiguous uniform run walks
+                    # the channels round-robin, so when every channel is
+                    # free by its first arrival (probed below) only the
+                    # last ``n_channels`` transactions' finish times are
+                    # observable; the rest reduce to the exact cycle spin.
+                    base_ch = va0 >> 8
+                    lim = span if span < n_channels else n_channels
+                    # Cheap dominating probe first: if every channel is
+                    # free by the first arrival, no per-channel check is
+                    # needed (later arrivals are only later).
+                    ok = max(channel_free) <= cycle
+                    if not ok:
+                        probe = cycle
+                        ok = True
+                        for k in range(lim):
+                            if channel_free[(base_ch + k) % n_channels] > probe:
+                                ok = False
+                                break
+                            probe += interval
+                    if ok:
+                        for _ in range(span - lim):
+                            cycle += interval
+                        for k in range(span - lim, span):
+                            finish = cycle + s_cycles
+                            channel_free[(base_ch + k) % n_channels] = finish
+                            cycle += interval
+                        done = finish + mem_latency
+                        if done > data_end:
+                            data_end = done
+                        total_bytes += span * 256
+                        counted += span
+                        i = j
+                        continue
+                for va, size in transactions[i:j]:
+                    channel = (va >> 8) % n_channels
+                    free_at = channel_free[channel]
+                    start = cycle if cycle > free_at else free_at
+                    finish = start + size / ch_bw
+                    channel_free[channel] = finish
+                    done = finish + mem_latency
+                    if done > data_end:
+                        data_end = done
+                    total_bytes += size
+                    cycle += interval
+                counted += span
+                i = j
+        finally:
+            # Successful transactions count even when a later one faults,
+            # matching the per-request accounting of MMU.translate.
+            stats.requests += counted
+
+        memory.total_bytes += total_bytes
+        memory.total_accesses += counted
+        return BurstResult(
+            start_cycle=start_cycle,
+            issue_end_cycle=cycle,
+            data_end_cycle=data_end,
+            transactions=len(transactions),
+            bytes_moved=total_bytes,
+            stall_cycles=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # batched fast path                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _run_burst_batched(
+        self, transactions: Sequence[Transaction], start_cycle: float
+    ) -> BurstResult:
+        """Same-page run batching for translated (non-oracle) MMUs.
+
+        Each transaction is first retired exactly as the reference path
+        would; if the following transactions stay on the same virtual page,
+        the run is consumed in bulk.  A run segment never crosses a
+        walker-completion event (``heap[0][0]``), so TLB fills and PRMB
+        drains interleave with lookups in reference order, and it ends the
+        moment its uniform resolution (TLB hit / PRMB merge) stops holding.
+        """
+        mmu = self.mmu
+        memory = self.memory
+        vpn_shift = mmu._vpn_shift
+        interval = self.issue_interval
+        fault_handler = self.fault_handler
+        translate = mmu.translate
+        process = mmu.process_completions
+        stats = mmu.stats
+        tlb = mmu.tlb
+        tlb_latency = mmu._tlb_latency
+        pool = mmu.pool
+        heap = pool.heap
+        pts = mmu.pts
+        pts_by_vpn = pts._by_vpn
+        buffers = pool._buffers
+        completion_of = pool._completion_of
+        prmb_capacity = mmu._prmb_slots
+        prmb_stats = pool.prmb_stats
+        inf = float("inf")
+
+        mem_cfg = memory.config
+        channel_free = memory._channel_free
+        n_channels = mem_cfg.channels
+        ch_bw = mem_cfg.channel_bandwidth
+        mem_latency = mem_cfg.access_latency_cycles
+        # Service time of the DMA's default 256 B transaction, bit-identical
+        # to the reference's per-transaction ``size / ch_bw`` (float division
+        # is deterministic).  ``stream_ok`` states that the per-channel
+        # arrival spacing of a round-robin issue stream covers the service
+        # time, so no intra-run queueing can occur.
+        s_cycles = 256 / ch_bw
+        stream_ok = n_channels * interval >= s_cycles
+        merge_stream_ok = n_channels >= s_cycles
+
+        # Inlined TLB membership probe: ``vpn in tlb_sets[vpn & set_mask]``
+        # covers both the fully-associative default (mask 0, one set) and
+        # set-associative mode without a method call per transaction.
+        tlb_sets = tlb._sets
+        tlb_set_mask = tlb._set_mask
+        # Whole-run hit batching defers completion retirement past the
+        # run's hits, which preserves eviction victims only while the hit
+        # page cannot itself be a set's LRU entry — i.e. at >= 2 ways.
+        hit_runs_batchable = tlb._ways >= 2
+
+        cycle = start_cycle
+        data_end = start_cycle
+        stall = 0.0
+        total_bytes = 0
+        n = len(transactions)
+
+        # DMA-provided run metadata (TransactionStream): same-page run
+        # bounds and streamability known at linearization time, replacing
+        # the per-transaction scan below.  Only valid at matching page size.
+        meta = getattr(transactions, "runs", None)
+        if meta is not None and (
+            not meta
+            or getattr(transactions, "page_size", 0) != 1 << vpn_shift
+        ):
+            meta = None
+        rc = 0
+
+        # Memoized same-page run bounds: re-entering the batch logic for a
+        # partially-consumed run (after a completion-event segment break)
+        # must not rescan the stream — 2 MB pages produce runs of ~8k
+        # transactions that are revisited once per PRMB refill.
+        run_vpn = -1
+        run_end = 0
+        run_streamable = False
+
+        i = 0
+        while i < n:
+            va, size = transactions[i]
+            # -- reference step for the run's leading transaction --------
+            if heap and heap[0][0] <= cycle:
+                process(cycle)
+            vpn = va >> vpn_shift
+            while True:
+                try:
+                    ready, retry = translate(vpn, cycle)
+                except TranslationFault:
+                    if fault_handler is None:
+                        raise
+                    resolved = fault_handler(vpn, cycle)
+                    stall += resolved - cycle
+                    cycle = resolved
+                    process(cycle)
+                    continue
+                if ready is None:
+                    stall += retry - cycle
+                    cycle = retry
+                    process(cycle)
+                    continue
+                break
+            channel = (va >> 8) % n_channels
+            free_at = channel_free[channel]
+            start = ready if ready > free_at else free_at
+            finish = start + size / ch_bw
+            channel_free[channel] = finish
+            done = finish + mem_latency
+            if done > data_end:
+                data_end = done
+            total_bytes += size
+            cycle += interval
+            i += 1
+
+            # -- batched continuation over the same-page run -------------
+            # The loop condition is the cheapest possible "next transaction
+            # stays on this page" probe; state probes follow only when it
+            # holds, so page-divergent streams pay two integer ops per
+            # transaction for the fast path's existence.
+            while i < n and transactions[i][0] >> vpn_shift == vpn:
+                if vpn in tlb_sets[vpn & tlb_set_mask]:
+                    # Bulk TLB hits over the whole run.  Walk completions
+                    # that fall inside the run are deferred to its end and
+                    # then retired in one ``process`` call: the pops happen
+                    # in identical heap order with cycle-independent
+                    # effects, eviction victims are unchanged (this page
+                    # was bumped by the run's leading lookup, so it is
+                    # never a set's LRU entry while ways >= 2), and the
+                    # final LRU touch lands after exactly the fills whose
+                    # completion precedes the run's last issue — the
+                    # reference interleaving.
+                    if not hit_runs_batchable:
+                        break
+                    if run_vpn != vpn or i >= run_end:
+                        if meta is not None:
+                            while meta[rc][0] <= i:
+                                rc += 1
+                            j, run_streamable = meta[rc]
+                        else:
+                            j = i + 1
+                            while j < n and transactions[j][0] >> vpn_shift == vpn:
+                                j += 1
+                            va0 = transactions[i][0]
+                            run_streamable = (
+                                j - i >= 2
+                                and transactions[i][1] == 256
+                                and transactions[j - 1][0] - va0
+                                == (j - 1 - i) * 256
+                                and all(t[1] == 256 for t in transactions[i:j])
+                            )
+                        run_vpn = vpn
+                        run_end = j
+                    else:
+                        j = run_end
+                    span = j - i
+                    closed = False
+                    va0 = transactions[i][0]
+                    if (
+                        span >= 8
+                        and run_streamable
+                        and (span <= n_channels or stream_ok)
+                    ):
+                        # Streaming closed form (see the oracle path): only
+                        # the last ``n_channels`` transactions' finishes are
+                        # observable once the no-queue probe passes.
+                        base_ch = va0 >> 8
+                        lim = span if span < n_channels else n_channels
+                        ok = max(channel_free) <= cycle + tlb_latency
+                        if not ok:
+                            probe = cycle
+                            ok = True
+                            for k in range(lim):
+                                if channel_free[(base_ch + k) % n_channels] > (
+                                    probe + tlb_latency
+                                ):
+                                    ok = False
+                                    break
+                                probe += interval
+                        if ok:
+                            closed = True
+                            for _ in range(span - lim):
+                                cycle += interval
+                            for k in range(span - lim, span):
+                                ready = cycle + tlb_latency
+                                finish = ready + s_cycles
+                                channel_free[(base_ch + k) % n_channels] = finish
+                                last_issue = cycle
+                                cycle += interval
+                            done = finish + mem_latency
+                            if done > data_end:
+                                data_end = done
+                            total_bytes += span * 256
+                    if not closed:
+                        last_issue = cycle
+                        for va, size in transactions[i:j]:
+                            ready = cycle + tlb_latency
+                            channel = (va >> 8) % n_channels
+                            free_at = channel_free[channel]
+                            start = ready if ready > free_at else free_at
+                            finish = start + size / ch_bw
+                            channel_free[channel] = finish
+                            done = finish + mem_latency
+                            if done > data_end:
+                                data_end = done
+                            total_bytes += size
+                            last_issue = cycle
+                            cycle += interval
+                    stats.requests += span
+                    stats.tlb_hits += span
+                    if heap and heap[0][0] <= last_issue:
+                        process(last_issue)
+                    tlb.touch(vpn, span)
+                    i = j
+                    continue
+
+                if not prmb_capacity:
+                    break
+                walkers = pts_by_vpn.get(vpn)
+                if not walkers:
+                    break
+                # Bulk PRMB merges: requests park in the first in-flight
+                # walker with a free slot; request r's data is released at
+                # the walk's completion plus r's drain position.
+                #
+                # Unlike TLB hits, merges commute with *other* pages' walk
+                # completions: a merge touches only this page's walker
+                # buffer and monotone counters, never the TLB's LRU state
+                # or the walker free list.  Deferring those retirements to
+                # the next reference step (which processes the whole
+                # backlog in identical heap order, with cycle-independent
+                # effects) is therefore exactly equivalent — so a merge
+                # segment only has to break when one of *this page's*
+                # walks completes and flips the run to TLB hits.
+                if len(walkers) == 1:
+                    h_mine = completion_of[walkers[0]]
+                else:
+                    h_mine = min(completion_of[w] for w in walkers)
+                if cycle >= h_mine:
+                    # This page's own walk completes now: retire the
+                    # backlog and re-dispatch (the run flips to TLB hits).
+                    process(cycle)
+                    continue
+                if run_vpn != vpn or i >= run_end:
+                    if meta is not None:
+                        while meta[rc][0] <= i:
+                            rc += 1
+                        j, run_streamable = meta[rc]
+                    else:
+                        j = i + 1
+                        while j < n and transactions[j][0] >> vpn_shift == vpn:
+                            j += 1
+                        va0 = transactions[i][0]
+                        run_streamable = (
+                            j - i >= 2
+                            and transactions[i][1] == 256
+                            and transactions[j - 1][0] - va0 == (j - 1 - i) * 256
+                            and all(t[1] == 256 for t in transactions[i:j])
+                        )
+                    run_vpn = vpn
+                    run_end = j
+                else:
+                    j = run_end
+                merged_total = 0
+                full_skips = 0
+                exhausted = False
+                for walker in walkers:
+                    buf = buffers[walker]
+                    pos = buf._occupied
+                    cap = buf.slots
+                    if pos >= cap:
+                        full_skips += 1
+                        continue
+                    comp = completion_of[walker]
+                    room = cap - pos
+                    avail = j - i
+                    span = avail if avail < room else room
+                    t = int((h_mine - cycle) / interval) - 1
+                    if t < span:
+                        span = t
+                    if span > 0:
+                        closed = False
+                        va0 = transactions[i][0]
+                        if (
+                            span >= 8
+                            and run_streamable
+                            and (span <= n_channels or merge_stream_ok)
+                        ):
+                            # Streaming closed form: merged requests drain
+                            # one per cycle after the walk completes, so a
+                            # contiguous uniform run again touches channels
+                            # round-robin with unit spacing.
+                            base_ch = va0 >> 8
+                            lim = span if span < n_channels else n_channels
+                            ok = max(channel_free) <= comp + (pos + 1)
+                            if not ok:
+                                for k in range(lim):
+                                    if channel_free[(base_ch + k) % n_channels] > (
+                                        comp + (pos + 1 + k)
+                                    ):
+                                        ok = False
+                                        break
+                                else:
+                                    ok = True
+                            if ok:
+                                closed = True
+                                for _ in range(span):
+                                    cycle += interval
+                                for k in range(span - lim, span):
+                                    ready = comp + (pos + 1 + k)
+                                    finish = ready + s_cycles
+                                    channel_free[
+                                        (base_ch + k) % n_channels
+                                    ] = finish
+                                done = finish + mem_latency
+                                if done > data_end:
+                                    data_end = done
+                                total_bytes += span * 256
+                                pos += span
+                        if not closed:
+                            for va, size in transactions[i:i + span]:
+                                pos += 1
+                                ready = comp + pos
+                                channel = (va >> 8) % n_channels
+                                free_at = channel_free[channel]
+                                start = ready if ready > free_at else free_at
+                                finish = start + size / ch_bw
+                                channel_free[channel] = finish
+                                done = finish + mem_latency
+                                if done > data_end:
+                                    data_end = done
+                                total_bytes += size
+                                cycle += interval
+                        k = i + span
+                    else:
+                        k = i
+                    # Residual guarded loop: finishes whatever the bulk
+                    # span left over (the conservative trip count stops up
+                    # to one interval short of the completion event), so a
+                    # walker is only ever abandoned because its buffer is
+                    # truly full, the run ended, or this page's walk is due.
+                    while k < j and pos < cap and cycle < h_mine:
+                        va, size = transactions[k]
+                        pos += 1
+                        ready = comp + pos
+                        channel = (va >> 8) % n_channels
+                        free_at = channel_free[channel]
+                        start = ready if ready > free_at else free_at
+                        finish = start + size / ch_bw
+                        channel_free[channel] = finish
+                        done = finish + mem_latency
+                        if done > data_end:
+                            data_end = done
+                        total_bytes += size
+                        cycle += interval
+                        k += 1
+                    count = k - i
+                    if count:
+                        buf._occupied = pos
+                        mb_stats = buf.stats
+                        mb_stats.merges += count
+                        if pos > mb_stats.peak_occupancy:
+                            mb_stats.peak_occupancy = pos
+                        # Each merged request first probed every already-
+                        # full walker ahead of this one in the PTS list.
+                        mb_stats.rejects_full += full_skips * count
+                        merged_total += count
+                        i = k
+                    if i >= j or cycle >= h_mine:
+                        break
+                    full_skips += 1  # this walker is now truly full
+                else:
+                    exhausted = True
+                if merged_total:
+                    stats.requests += merged_total
+                    stats.merges += merged_total
+                    # Each merged request was one TLB miss + one PTS hit.
+                    tlb.misses += merged_total
+                    pts.lookups += merged_total
+                    pts.hits += merged_total
+                if exhausted:
+                    # Every in-flight walker's PRMB is full: the next
+                    # transaction launches a redundant walk or stalls.
+                    h = heap[0][0] if heap else inf
+                    if h <= cycle:
+                        # Deferred completions are due; they may free a
+                        # walker or finish this page's walk.
+                        process(cycle)
+                        continue
+                    if pool._free:
+                        break  # a redundant walk can start: reference path
+                    # Fully blocked — MMU.translate's stall branch inlined:
+                    # the attempt probes the TLB, hits the PTS, is rejected
+                    # by every full PRMB, then blocks until the earliest
+                    # in-flight walk completes.  The retried request is
+                    # recounted by whichever path retires it.
+                    retry = h
+                    tlb.misses += 1
+                    pts.lookups += 1
+                    pts.hits += 1
+                    prmb_stats.rejects_full += len(walkers)
+                    stats.stall_events += 1
+                    stats.stall_cycles += retry - cycle
+                    stall += retry - cycle
+                    cycle = retry
+                    process(cycle)
+                    continue
+
+        memory.total_bytes += total_bytes
+        memory.total_accesses += n
+        return BurstResult(
+            start_cycle=start_cycle,
+            issue_end_cycle=cycle,
+            data_end_cycle=data_end,
+            transactions=n,
+            bytes_moved=total_bytes,
+            stall_cycles=stall,
+        )
+
+    # ------------------------------------------------------------------ #
+    # multi-burst driver                                                 #
+    # ------------------------------------------------------------------ #
 
     def run_bursts(
         self, bursts: Sequence[Sequence[Transaction]], start_cycle: float

@@ -77,8 +77,14 @@ class MMUConfig:
         if not self.oracle:
             if self.tlb_entries <= 0:
                 raise ValueError("tlb_entries must be positive")
+            if self.tlb_hit_latency < 0:
+                raise ValueError("tlb_hit_latency cannot be negative")
+            if self.l1_tlb_latency < 0:
+                raise ValueError("l1_tlb_latency cannot be negative")
             if self.n_walkers <= 0:
                 raise ValueError("n_walkers must be positive")
+            if self.walk_latency_per_level <= 0:
+                raise ValueError("walk_latency_per_level must be positive")
             if self.prmb_slots < 0:
                 raise ValueError("prmb_slots cannot be negative")
             if self.l1_tlb_entries < 0 or self.prefetch_depth < 0:

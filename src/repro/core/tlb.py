@@ -66,6 +66,19 @@ class TLB:
         """Probe without disturbing LRU order or statistics."""
         return vpn in self._set_for(vpn)
 
+    def touch(self, vpn: int, count: int = 1) -> None:
+        """Bulk equivalent of ``count`` consecutive hitting lookups.
+
+        ``count`` back-to-back lookups of a resident VPN bump it to MRU
+        once and add ``count`` hits; the batched engine fast path uses this
+        to retire a same-page run with a single TLB update.  Raises
+        ``KeyError`` when the VPN is not resident (callers must check
+        :meth:`contains` first).
+        """
+        entry_set = self._set_for(vpn)
+        entry_set.move_to_end(vpn)
+        self.hits += count
+
     def insert(self, vpn: int, pfn: int) -> None:
         """Fill an entry (typically on page-table-walk completion)."""
         entry_set = self._set_for(vpn)

@@ -64,6 +64,29 @@ class FetchSpec:
         return self.layout.tile_extents(self.starts, self.sizes)
 
 
+class TransactionStream(List[Transaction]):
+    """A transaction list annotated with same-page *run* metadata.
+
+    ``runs`` partitions the stream into maximal same-page runs as
+    ``(end_index, streamable)`` pairs in index order; a run is *streamable*
+    when every transaction in it is 256 bytes and virtually contiguous with
+    its predecessor — the structure the translation engine's batched fast
+    path needs, known for free at linearization time.  ``page_size`` is the
+    page size the runs were computed for; consumers must ignore the
+    metadata when their own page size differs.
+
+    Being a ``list`` subclass, the stream is a drop-in transaction list for
+    every existing consumer.
+    """
+
+    __slots__ = ("runs", "page_size")
+
+    def __init__(self, page_size: int = PAGE_SIZE_4K):
+        super().__init__()
+        self.runs: List[Tuple[int, bool]] = []
+        self.page_size = page_size
+
+
 class DMAEngine:
     """Decomposes fetches into bounded, page-local transactions."""
 
@@ -72,19 +95,30 @@ class DMAEngine:
         #: Transactions never cross this boundary so one transaction always
         #: lives in one page (valid for both 4 KB and 2 MB translation).
         self.split_boundary = PAGE_SIZE_4K
+        #: Page size used for the run metadata attached to generated
+        #: streams (the MMU's translation page size; set by the simulator).
+        self.run_page_size = PAGE_SIZE_4K
 
-    def transactions(self, fetch: FetchSpec) -> List[Transaction]:
+    def transactions(self, fetch: FetchSpec) -> TransactionStream:
         """All transactions of one tile fetch, in DMA issue order.
 
         Inline arithmetic equivalent of
         :meth:`repro.memory.address.Extent.split_transactions` — this runs
-        for every simulated tile, so object churn is avoided.
+        for every simulated tile, so object churn is avoided.  The result
+        carries same-page run metadata (:class:`TransactionStream`).
         """
         max_bytes = self.config.dma_transaction_bytes
         boundary = self.split_boundary
         offset_mask = boundary - 1
-        txs: List[Transaction] = []
+        page_size = self.run_page_size
+        page_mask = ~(page_size - 1)
+        txs = TransactionStream(page_size)
+        runs = txs.runs
         append = txs.append
+        idx = 0
+        run_page = -1
+        streamable = True
+        prev_end = -1
         for extent in fetch.extents():
             va = extent.va
             remaining = extent.length
@@ -93,9 +127,23 @@ class DMAEngine:
                 chunk = room if room < max_bytes else max_bytes
                 if chunk > remaining:
                     chunk = remaining
+                page = va & page_mask
+                if page != run_page:
+                    if run_page >= 0:
+                        runs.append((idx, streamable))
+                    run_page = page
+                    streamable = True
+                elif va != prev_end:
+                    streamable = False  # same page, but a gap in VA
+                if chunk != 256:
+                    streamable = False
                 append((va, chunk))
-                va += chunk
+                prev_end = va + chunk
+                va = prev_end
                 remaining -= chunk
+                idx += 1
+        if run_page >= 0:
+            runs.append((idx, streamable))
         return txs
 
     def transaction_count(self, fetch: FetchSpec) -> int:

@@ -118,6 +118,9 @@ class NPUSimulator:
             memory_bytes=memory_bytes, page_size=mmu_config.page_size
         )
         self.dma = DMAEngine(self.npu_config)
+        # Run metadata on generated streams must match the MMU's page size
+        # for the engine's batched fast path to use it.
+        self.dma.run_page_size = mmu_config.page_size
         self.memory = MainMemory(self.npu_config.memory)
         self.mmu = MMU(mmu_config, self.address_space.page_table)
         self.engine = TranslationEngine(

@@ -8,6 +8,7 @@ on each network's *common layer* (see :func:`common_layer_workload`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from .cnn import Workload, alexnet, googlenet, resnet50
@@ -37,6 +38,33 @@ def dense_workload(name: str, batch: int = 1) -> Workload:
             f"unknown workload {name!r}; choose from {sorted(DENSE_WORKLOADS)}"
         ) from None
     return factory(batch)
+
+
+@dataclass(frozen=True)
+class DenseWorkloadFactory:
+    """Picklable zero-arg factory for one ``(network, batch)`` grid point.
+
+    Unlike a closure, instances survive a trip through
+    :class:`concurrent.futures.ProcessPoolExecutor`, which is what lets
+    the parallel experiment runner ship grid points to worker processes.
+    """
+
+    name: str
+    batch: int
+
+    def __call__(self) -> Workload:
+        return dense_workload(self.name, self.batch)
+
+
+@dataclass(frozen=True)
+class CommonLayerFactory:
+    """Picklable factory for the large-batch common-layer study (§VI-C)."""
+
+    name: str
+    batch: int
+
+    def __call__(self) -> Workload:
+        return common_layer_workload(self.name, self.batch)
 
 
 def dense_suite(batches=DENSE_BATCHES) -> List[Workload]:

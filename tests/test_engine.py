@@ -132,6 +132,37 @@ class TestFaultHandling:
         with pytest.raises(TranslationFault):
             engine.run_burst([(BASE + 64 * PAGE_SIZE_4K, 256)], 0.0)
 
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_oracle_unmapped_page_faults(self, batched):
+        """Regression: the oracle fast path must not swallow page faults.
+
+        The seed's inlined oracle path skipped MMU.translate and silently
+        "translated" unmapped pages; both engine paths must now probe the
+        resolver and raise, counting the fault like mmu.py does.
+        """
+        engine, mmu, _ = build(oracle_config(), n_pages=1)
+        engine.batched = batched
+        mapped = [(BASE + k * 256, 256) for k in range(4)]
+        with pytest.raises(TranslationFault):
+            engine.run_burst(mapped + [(BASE + 64 * PAGE_SIZE_4K, 256)], 0.0)
+        assert mmu.stats.faults == 1
+        # The mapped transactions before the fault still count; the
+        # faulting one does not (MMU.translate parity).
+        assert mmu.stats.requests == len(mapped)
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_oracle_fault_mid_run_counts_prefix(self, batched):
+        """Faults inside a same-page run keep request accounting exact."""
+        engine, mmu, _ = build(oracle_config(), n_pages=2)
+        engine.batched = batched
+        txs = [(BASE + k * 256, 256) for k in range(20)]  # 2 mapped pages
+        txs += [(BASE + 64 * PAGE_SIZE_4K + k * 256, 256) for k in range(4)]
+        with pytest.raises(TranslationFault) as excinfo:
+            engine.run_burst(txs, 0.0)
+        assert excinfo.value.vpn == (BASE + 64 * PAGE_SIZE_4K) >> 12
+        assert mmu.stats.requests == 20
+        assert mmu.stats.faults == 1
+
     def test_fault_handler_installs_and_charges(self):
         table = PageTable()
         table.map_range(BASE, PAGE_SIZE_4K, first_pfn=10)

@@ -57,6 +57,7 @@ class TestStaticFigures:
 
 
 class TestCharacterization:
+    @pytest.mark.slow
     def test_fig6_divergence_scale(self):
         fig = fig6_page_divergence(batches=B1)
         # Section III-C: multi-MB tiles touch >1K distinct pages.
@@ -76,7 +77,10 @@ class TestCharacterization:
         assert starts == sorted(starts)
 
 
+@pytest.mark.slow
 class TestDenseResults:
+    """Dense sweep suite — tens of seconds; excluded from the fast tier."""
+
     def test_fig8_iommu_loss(self, runner):
         fig = fig8_baseline_iommu(batches=B1, runner=runner)
         # Paper: ~95% average overhead.

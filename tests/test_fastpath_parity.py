@@ -1,0 +1,274 @@
+"""Golden-parity tests: batched fast path vs per-transaction reference.
+
+The batched engine is an *optimization*, not a semantic change: for any
+transaction stream and any MMU configuration it must produce bit-identical
+``BurstResult``s, ``RunSummary``s and component state (memory channels,
+TLB contents and LRU order, PRMB occupancy/statistics, PTS counters).
+These tests sweep randomized and adversarial streams across the design
+space to lock that in, and pin the engine's inlined memory arithmetic to
+``MainMemory.access``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import TranslationEngine
+from repro.core.mmu import (
+    MMU,
+    MMUConfig,
+    baseline_iommu_config,
+    neummu_config,
+    oracle_config,
+)
+from repro.core.tlb import TLB
+from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.memory.dram import MainMemory, MemoryConfig
+from repro.memory.page_table import PageTable
+from repro.npu.dma import TransactionStream
+from repro.npu.simulator import NPUSimulator
+from repro.workloads.cnn import Workload
+from repro.workloads.layers import DenseLayer
+from repro.workloads.registry import dense_workload
+
+BASE = 0x7F00_0000_0000
+N_PAGES = 4000
+
+#: Configurations spanning every dispatch path of the batched engine:
+#: oracle, stall-heavy, merge-heavy, hit-heavy, path caches, tiny TLBs.
+PARITY_CONFIGS = [
+    oracle_config(),
+    baseline_iommu_config(),
+    neummu_config(),
+    MMUConfig(name="w2", n_walkers=2, prmb_slots=4),
+    MMUConfig(name="s1", n_walkers=8, prmb_slots=1),
+    MMUConfig(name="w1s2", n_walkers=1, prmb_slots=2),
+    MMUConfig(name="tpc", n_walkers=16, prmb_slots=8, path_cache="tpc"),
+    MMUConfig(name="tiny_tlb", tlb_entries=4, n_walkers=4, prmb_slots=2),
+    neummu_config(page_size=PAGE_SIZE_2M),
+    baseline_iommu_config(page_size=PAGE_SIZE_2M),
+]
+
+
+def build_table(n_pages=N_PAGES):
+    table = PageTable()
+    table.map_range(BASE, n_pages * PAGE_SIZE_4K, first_pfn=10)
+    return table
+
+
+def random_stream(seed, n):
+    """Mixed run lengths, offsets and sizes — streamable and not."""
+    rng = random.Random(seed)
+    txs = []
+    page = 0
+    while len(txs) < n:
+        run = rng.choice([1, 2, 3, 4, 6, 16, 16, 30])
+        base = BASE + page * PAGE_SIZE_4K
+        offset = rng.choice([0, 128])
+        for k in range(run):
+            txs.append(
+                (
+                    base + (offset + k * 256) % PAGE_SIZE_4K,
+                    rng.choice([64, 128, 256, 256, 256]),
+                )
+            )
+        if rng.random() < 0.7:
+            page = rng.randrange(N_PAGES)
+    return txs[:n]
+
+
+def streaming_stream(n):
+    """Fully contiguous 256 B transactions (the closed-form target)."""
+    return [(BASE + k * 256, 256) for k in range(n)]
+
+
+def annotate(txs, page_size):
+    """Run metadata as the DMA would attach it."""
+    stream = TransactionStream(page_size)
+    stream.extend(txs)
+    mask = ~(page_size - 1)
+    run_page, streamable, prev_end = -1, True, -1
+    for idx, (va, size) in enumerate(txs):
+        page = va & mask
+        if page != run_page:
+            if run_page >= 0:
+                stream.runs.append((idx, streamable))
+            run_page, streamable = page, True
+        elif va != prev_end:
+            streamable = False
+        if size != 256:
+            streamable = False
+        prev_end = va + size
+    if run_page >= 0:
+        stream.runs.append((len(txs), streamable))
+    return stream
+
+
+def run_both(config, bursts_batched, bursts_reference, channels=8):
+    """Run the same stream through both paths; return comparable state."""
+    out = []
+    for batched, bursts in (
+        (True, bursts_batched),
+        (False, bursts_reference),
+    ):
+        mmu = MMU(config, build_table())
+        memory = MainMemory(MemoryConfig(channels=channels))
+        engine = TranslationEngine(mmu, memory, batched=batched)
+        results, data_end = engine.run_bursts(bursts, 0.125)
+        mmu.drain()
+        state = {
+            "results": results,
+            "data_end": data_end,
+            "summary": mmu.summary(),
+            "channels": tuple(memory._channel_free),
+            "mem_totals": (memory.total_bytes, memory.total_accesses),
+        }
+        if mmu.pool is not None:
+            state["prmb"] = dict(mmu.pool.prmb_stats.__dict__)
+            state["pts"] = (mmu.pts.lookups, mmu.pts.hits)
+            state["tlb_sets"] = [list(s.items()) for s in mmu.tlb._sets]
+        out.append(state)
+    return out
+
+
+class TestBurstParity:
+    @pytest.mark.parametrize("seed", [7, 38, 69, 100])
+    @pytest.mark.parametrize(
+        "config", PARITY_CONFIGS, ids=lambda c: f"{c.name}/{c.page_size}"
+    )
+    def test_random_streams_bit_identical(self, config, seed):
+        txs = random_stream(seed, 2000)
+        third = len(txs) // 3
+        bursts = [txs[:third], txs[third : 2 * third], txs[2 * third :]]
+        batched_state, reference_state = run_both(config, bursts, bursts)
+        assert batched_state == reference_state
+
+    @pytest.mark.parametrize(
+        "config", PARITY_CONFIGS, ids=lambda c: f"{c.name}/{c.page_size}"
+    )
+    def test_streaming_bursts_bit_identical(self, config):
+        txs = streaming_stream(2500)
+        batched_state, reference_state = run_both(config, [txs], [txs])
+        assert batched_state == reference_state
+
+    @pytest.mark.parametrize(
+        "config",
+        [baseline_iommu_config(), neummu_config(), oracle_config(),
+         neummu_config(page_size=PAGE_SIZE_2M)],
+        ids=lambda c: f"{c.name}/{c.page_size}",
+    )
+    def test_dma_annotated_streams_match_plain_lists(self, config):
+        """Run metadata is an access-path hint, never a semantic change."""
+        txs = random_stream(11, 1800) + streaming_stream(700)
+        annotated = annotate(txs, config.page_size)
+        batched_state, reference_state = run_both(config, [annotated], [txs])
+        assert batched_state == reference_state
+
+    def test_direct_mapped_tlb_falls_back(self):
+        """ways < 2 disables hit-run batching but stays bit-identical."""
+        config = MMUConfig(name="dm", n_walkers=8, prmb_slots=8)
+        txs = streaming_stream(1500)
+        out = []
+        for batched in (True, False):
+            mmu = MMU(config, build_table())
+            mmu.tlb = TLB(16, associativity=1)
+            engine = TranslationEngine(mmu, MainMemory(), batched=batched)
+            result = engine.run_burst(txs, 0.0)
+            mmu.drain()
+            out.append((result, mmu.summary()))
+        assert out[0] == out[1]
+
+    def test_non_unit_issue_interval(self):
+        config = neummu_config()
+        txs = streaming_stream(1000)
+        out = []
+        for batched in (True, False):
+            mmu = MMU(config, build_table())
+            engine = TranslationEngine(
+                mmu, MainMemory(), issue_interval=1.5, batched=batched
+            )
+            result = engine.run_burst(txs, 0.25)
+            mmu.drain()
+            out.append((result, mmu.summary()))
+        assert out[0] == out[1]
+
+
+class TestSimulatorParity:
+    """Full-pipeline parity: identical RunResults either way."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [oracle_config(), baseline_iommu_config(), neummu_config(),
+         baseline_iommu_config(page_size=PAGE_SIZE_2M)],
+        ids=lambda c: f"{c.name}/{c.page_size}",
+    )
+    def test_small_workload(self, config):
+        workload = Workload(
+            name="parity_fc",
+            batch=1,
+            layers=(DenseLayer("fc1", 1, 2048, 1024), DenseLayer("fc2", 1, 1024, 512)),
+        )
+        results = []
+        for batched in (True, False):
+            sim = NPUSimulator(workload, config)
+            sim.engine.batched = batched
+            results.append(sim.run())
+        assert results[0].total_cycles == results[1].total_cycles
+        assert results[0].mmu_summary == results[1].mmu_summary
+        assert [l.cycles for l in results[0].layers] == [
+            l.cycles for l in results[1].layers
+        ]
+
+    def test_real_network_summary_identical(self):
+        results = []
+        for batched in (True, False):
+            sim = NPUSimulator(dense_workload("RNN-2", 1), neummu_config())
+            sim.engine.batched = batched
+            results.append(sim.run())
+        assert results[0].total_cycles == results[1].total_cycles
+        assert results[0].mmu_summary == results[1].mmu_summary
+
+
+class TestMemoryArithmeticParity:
+    """The engine's inlined channel arithmetic IS MainMemory.access."""
+
+    def test_oracle_engine_matches_memory_model(self):
+        txs = random_stream(3, 1500)
+        mmu = MMU(oracle_config(), build_table())
+        memory = MainMemory()
+        engine = TranslationEngine(mmu, memory, batched=True)
+        result = engine.run_burst(txs, 0.0)
+
+        reference = MainMemory()
+        cycle = 0.0
+        data_end = 0.0
+        for va, size in txs:
+            done = reference.access(cycle, size, address=va)
+            if done > data_end:
+                data_end = done
+            cycle += 1.0
+        assert result.data_end_cycle == data_end
+        assert memory._channel_free == reference._channel_free
+        assert memory.total_bytes == reference.total_bytes
+        assert memory.total_accesses == reference.total_accesses
+
+    def test_translated_engine_matches_memory_model(self):
+        """With a TLB-warm stream, ready = cycle + hit latency exactly."""
+        config = baseline_iommu_config()
+        txs = [(BASE + (k % 8) * 256, 256) for k in range(64)]
+        mmu = MMU(config, build_table())
+        # Pre-fill the TLB so every transaction hits at +5 cycles.
+        mmu.tlb.insert(BASE >> 12, 10)
+        engine = TranslationEngine(mmu, MainMemory(), batched=True)
+        result = engine.run_burst(txs, 0.0)
+
+        reference = MainMemory()
+        cycle = 0.0
+        data_end = 0.0
+        for va, size in txs:
+            done = reference.access(cycle + config.tlb_hit_latency, size, address=va)
+            if done > data_end:
+                data_end = done
+            cycle += 1.0
+        assert result.data_end_cycle == data_end
+        assert engine.memory._channel_free == reference._channel_free

@@ -50,6 +50,29 @@ class TestConfigs:
         with pytest.raises(ValueError):
             MMUConfig(tlb_entries=0)
 
+    def test_negative_latencies_rejected(self):
+        with pytest.raises(ValueError, match="tlb_hit_latency"):
+            MMUConfig(tlb_hit_latency=-1)
+        with pytest.raises(ValueError, match="l1_tlb_latency"):
+            MMUConfig(l1_tlb_latency=-1)
+        with pytest.raises(ValueError, match="walk_latency_per_level"):
+            MMUConfig(walk_latency_per_level=-100)
+
+    def test_latency_boundaries(self):
+        # Zero TLB latencies are physically meaningful; a zero-latency
+        # walk is not (the walker pool rejects it too).
+        assert MMUConfig(tlb_hit_latency=0).tlb_hit_latency == 0
+        assert MMUConfig(l1_tlb_latency=0).l1_tlb_latency == 0
+        with pytest.raises(ValueError, match="walk_latency_per_level"):
+            MMUConfig(walk_latency_per_level=0)
+        assert MMUConfig(walk_latency_per_level=1).walk_latency_per_level == 1
+
+    def test_oracle_skips_latency_validation(self):
+        # The oracle has no TLB or walkers; nonsense latencies are inert
+        # there, mirroring the existing capacity checks.
+        cfg = MMUConfig(oracle=True, tlb_hit_latency=-5, walk_latency_per_level=-1)
+        assert cfg.oracle
+
 
 class TestOracle:
     def test_translate_is_free(self):

@@ -139,6 +139,7 @@ class TestFidelity:
         fast = NPUSimulator(tiny_rnn(), neummu_config(), fidelity=Fidelity.FAST).run()
         assert fast.total_cycles == pytest.approx(exact.total_cycles, rel=0.05)
 
+    @pytest.mark.slow
     def test_fast_matches_exact_iommu(self):
         exact = NPUSimulator(
             tiny_rnn(), baseline_iommu_config(), fidelity=Fidelity.EXACT
