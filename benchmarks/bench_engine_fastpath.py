@@ -76,7 +76,7 @@ def _replay(sim, bursts, mmu_config, batched: bool, resolver=None):
     """
     mmu = MMU(mmu_config, sim.address_space.page_table)
     if resolver is not None:
-        mmu.resolver = resolver
+        mmu.replace_resolver(resolver)
     engine = TranslationEngine(mmu, MainMemory(), batched=batched)
     gc.disable()
     started = time.perf_counter()

@@ -1,0 +1,29 @@
+"""Shared-MMU multi-tenant contention: per-tenant slowdown vs isolation.
+
+Each tenant owns an ASID-tagged address space but contends with the others
+for one TLB, one walker pool, the PRMB capacity and memory bandwidth.  The
+oracle rows isolate pure bandwidth contention, so the gap between the
+IOMMU/NeuMMU rows and the oracle rows is *translation* contention.
+"""
+
+import os
+
+from repro.analysis import multi_tenant_contention
+
+from .common import emit, run_once
+
+
+def bench_multi_tenant(benchmark):
+    tenants = 4 if os.environ.get("NEUMMU_FULL") else 2
+    figure = run_once(benchmark, lambda: multi_tenant_contention(tenants=tenants))
+    emit(figure)
+    slowdowns = {"oracle": [], "iommu": [], "neummu": []}
+    for row in figure.rows:
+        config = row.label.split("/")[0]
+        # Sharing never makes a tenant faster than running alone.
+        assert row.values["slowdown"] >= 0.999
+        slowdowns[config].append(row.values["slowdown"])
+    mean = {k: sum(v) / len(v) for k, v in slowdowns.items() if v}
+    # The 8-walker IOMMU's translation bottleneck amplifies contention;
+    # NeuMMU's walker/PRMB headroom absorbs most of it.
+    assert mean["iommu"] > mean["neummu"]

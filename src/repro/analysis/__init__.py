@@ -21,6 +21,7 @@ from .experiments import (
     fig16_demand_paging,
     headline_claims,
     large_pages_dense,
+    multi_tenant_contention,
     multilevel_tlb_ablation,
     overhead_area,
     prefetch_ablation,
@@ -59,6 +60,7 @@ __all__ = [
     "geometric_mean",
     "headline_claims",
     "large_pages_dense",
+    "multi_tenant_contention",
     "multilevel_tlb_ablation",
     "overhead_area",
     "prefetch_ablation",

@@ -17,7 +17,7 @@ from ..energy.accounting import energy_ratio, translation_energy
 from ..energy.cacti import neummu_overhead
 from ..memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
 from ..npu.config import NPUConfig
-from ..npu.simulator import NPUSimulator
+from ..npu.simulator import NPUSimulator, run_multi_tenant
 from ..npu.spatial import SpatialArrayModel
 from ..sparse.demand_paging import DemandPagingConfig, demand_paging_cell
 from ..sparse.recsys import TRANSPORTS, RecSysSystem
@@ -839,6 +839,78 @@ def multilevel_tlb_ablation(
         f"avg single {fig.mean('single_level'):.3f} vs "
         f"two-level {fig.mean('two_level'):.3f}"
     )
+    return fig
+
+
+# --------------------------------------------------------------------- #
+# Multi-tenant shared-MMU contention (beyond the paper's grid)           #
+# --------------------------------------------------------------------- #
+
+
+def multi_tenant_contention(
+    workload: str = "CNN-1",
+    batch: int = 1,
+    tenants: int = 2,
+    arbitration: str = "round_robin",
+    npu_config: Optional[NPUConfig] = None,
+) -> FigureResult:
+    """Extension: N tenant models contending for one shared MMU.
+
+    The scale-out serving regime the paper's single-address-space study
+    cannot express: each tenant owns a private (ASID-tagged) address space
+    but shares the TLB, PTS/walker pool, PRMB capacity and memory
+    bandwidth.  Per-tenant slowdown is each tenant's shared-run cycles over
+    its isolated single-tenant cycles under the *same* MMU config — the
+    shared-pool contention penalty, reported for the canonical IOMMU and
+    NeuMMU design points (plus the oracle, which isolates pure
+    memory-bandwidth contention from translation contention).
+    """
+    from ..workloads.registry import DenseWorkloadFactory
+
+    factory = DenseWorkloadFactory(workload, batch)
+    fig = FigureResult(
+        figure_id="tenants",
+        title=(
+            f"Shared-MMU contention: {tenants} x {workload}/b{batch:02d} "
+            f"({arbitration})"
+        ),
+        columns=[
+            "shared_mcycles",
+            "isolated_mcycles",
+            "slowdown",
+            "tlb_hit_rate",
+            "merges",
+            "stall_mcycles",
+        ],
+        notes=[
+            "slowdown = shared-run cycles / isolated same-config cycles; "
+            "oracle rows isolate memory-bandwidth contention from "
+            "translation contention",
+        ],
+    )
+    for config in (oracle_config(), baseline_iommu_config(), neummu_config()):
+        isolated = NPUSimulator(factory(), config, npu_config=npu_config).run()
+        shared = run_multi_tenant(
+            factory, config, tenants, npu_config=npu_config, arbitration=arbitration
+        )
+        slowdowns = []
+        for tenant in shared.tenants:
+            usage = tenant.usage
+            slowdown = tenant.total_cycles / isolated.total_cycles
+            slowdowns.append(slowdown)
+            fig.add(
+                f"{config.name}/t{tenant.asid}",
+                shared_mcycles=tenant.total_cycles / 1e6,
+                isolated_mcycles=isolated.total_cycles / 1e6,
+                slowdown=slowdown,
+                tlb_hit_rate=usage.tlb_hit_rate,
+                merges=float(usage.merges),
+                stall_mcycles=usage.stall_cycles / 1e6,
+            )
+        fig.notes.append(
+            f"{config.name}: mean slowdown {sum(slowdowns) / len(slowdowns):.3f} "
+            f"(makespan {shared.makespan_cycles / 1e6:.2f} Mcycles)"
+        )
     return fig
 
 

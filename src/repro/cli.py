@@ -41,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
     "tpc_vs_uptc": analysis.tpc_vs_uptc,
     "headline": analysis.headline_claims,
     "large_pages": analysis.large_pages_dense,
+    "tenants": analysis.multi_tenant_contention,
     "spatial": analysis.spatial_npu,
     "prefetch": analysis.prefetch_ablation,
     "mltlb": analysis.multilevel_tlb_ablation,
@@ -69,6 +70,9 @@ _BATCHED = _accepting("batches")
 #: ``--jobs``/``--cache-dir``).  ``spatial`` builds its own runner with a
 #: spatial-array compute model, so it naturally stays absent.
 _RUNNER_AWARE = _accepting("runner")
+
+#: Experiments that accept a ``tenants`` keyword (the shared-MMU study).
+_TENANTED = _accepting("tenants")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,12 +111,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the on-disk simulation-result cache",
     )
+    run.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="tenant count for the multi-tenant contention experiment",
+    )
 
     compare = sub.add_parser(
         "compare", help="oracle vs IOMMU vs NeuMMU on one workload"
     )
     compare.add_argument("workload", choices=sorted(DENSE_WORKLOADS))
     compare.add_argument("--batch", type=int, default=1)
+    compare.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        help="also run N copies of the workload on one shared MMU and "
+        "report per-tenant contention statistics",
+    )
 
     report = sub.add_parser(
         "report", help="run the headline experiments and emit a Markdown report"
@@ -146,6 +163,7 @@ def _run_experiment(
     out_dir: Optional[Path],
     chart: bool = False,
     runner=None,
+    tenants: Optional[int] = None,
 ) -> FigureResult:
     func = EXPERIMENTS[name]
     kwargs = {}
@@ -153,6 +171,8 @@ def _run_experiment(
         kwargs["batches"] = tuple(batches)
     if runner is not None and name in _RUNNER_AWARE:
         kwargs["runner"] = runner
+    if tenants is not None and name in _TENANTED:
+        kwargs["tenants"] = tenants
     started = time.time()
     result = func(**kwargs)
     elapsed = time.time() - started
@@ -202,7 +222,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # One shared runner also shares the oracle cache across experiments.
         runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     for name in names:
-        _run_experiment(name, args.batches, args.out, chart=args.chart, runner=runner)
+        _run_experiment(
+            name,
+            args.batches,
+            args.out,
+            chart=args.chart,
+            runner=runner,
+            tenants=args.tenants,
+        )
     return 0
 
 
@@ -211,8 +238,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     oracle = NPUSimulator(factory(), oracle_config()).run()
     print(f"{args.workload} b{args.batch:02d}:")
     print(f"  oracle : {oracle.total_cycles:14,.0f} cycles (1.000)")
+    isolated = {}
     for config in (baseline_iommu_config(), neummu_config()):
         result = NPUSimulator(factory(), config).run()
+        isolated[config.name] = result
         norm = oracle.total_cycles / result.total_cycles
         summary = result.mmu_summary
         print(
@@ -220,6 +249,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"({norm:.3f})  walks={summary.walks:,} merges={summary.merges:,} "
             f"tlb_hit={summary.tlb_hit_rate:.2f}"
         )
+    if args.tenants > 1:
+        from .npu.simulator import run_multi_tenant
+
+        print(f"\nshared MMU, {args.tenants} tenants (round-robin arbitration):")
+        for config in (baseline_iommu_config(), neummu_config()):
+            iso_cycles = isolated[config.name].total_cycles
+            shared = run_multi_tenant(factory, config, args.tenants)
+            for tenant in shared.tenants:
+                usage = tenant.usage
+                slowdown = tenant.total_cycles / iso_cycles
+                print(
+                    f"  {config.name:7s}/t{tenant.asid}: "
+                    f"{tenant.total_cycles:14,.0f} cycles "
+                    f"({slowdown:.3f}x isolated)  walks={usage.walks:,} "
+                    f"merges={usage.merges:,} stall={usage.stall_cycles:,.0f}"
+                )
+            print(
+                f"  {config.name:7s} makespan {shared.makespan_cycles:,.0f} "
+                f"cycles vs {iso_cycles:,.0f} isolated"
+            )
     return 0
 
 

@@ -19,6 +19,8 @@ from .mmu import (
     MMU,
     MMUConfig,
     PATH_CACHE_KINDS,
+    SharedMMU,
+    TenantUsage,
     TranslationFault,
     baseline_iommu_config,
     neummu_config,
@@ -52,8 +54,10 @@ __all__ = [
     "PathCacheStats",
     "PendingTranslationScoreboard",
     "RunSummary",
+    "SharedMMU",
     "TLB",
     "TPreg",
+    "TenantUsage",
     "TPregStats",
     "Transaction",
     "TranslationEngine",

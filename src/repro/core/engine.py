@@ -49,6 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..memory.address import ASID_SHIFT
 from ..memory.dram import MainMemory
 from .mmu import MMU, TranslationFault
 
@@ -56,8 +57,9 @@ from .mmu import MMU, TranslationFault
 Transaction = Tuple[int, int]
 
 #: Demand-paging hook: ``(vpn, fault_cycle) -> resolved_cycle``.  The hook
-#: must install the mapping (and invalidate the resolver entry) before
-#: returning; the engine retries the translation at ``resolved_cycle``.
+#: must install the mapping (and shoot down the stale translation, e.g.
+#: via :meth:`MMU.shootdown`) before returning; the engine retries the
+#: translation at ``resolved_cycle``.
 FaultHandler = Callable[[int, float], float]
 
 
@@ -125,25 +127,27 @@ class TranslationEngine:
         return mmu.prefetcher is None and not mmu._two_level
 
     def run_burst(
-        self, transactions: Sequence[Transaction], start_cycle: float
+        self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0
     ) -> BurstResult:
-        """Replay one burst; returns its timing.
+        """Replay one burst for context ``asid``; returns its timing.
 
         ``transactions`` are issued in order at one per ``issue_interval``
-        cycles, subject to translation-bandwidth blocking.
+        cycles, subject to translation-bandwidth blocking.  ``asid`` selects
+        the address-space context the burst translates under (0 = the
+        single-tenant default); shared-MMU tenants each pass their own.
         """
         if self.batched and self._batchable():
             if self.mmu.config.oracle:
-                return self._run_burst_oracle(transactions, start_cycle)
-            return self._run_burst_batched(transactions, start_cycle)
-        return self._run_burst_reference(transactions, start_cycle)
+                return self._run_burst_oracle(transactions, start_cycle, asid)
+            return self._run_burst_batched(transactions, start_cycle, asid)
+        return self._run_burst_reference(transactions, start_cycle, asid)
 
     # ------------------------------------------------------------------ #
     # reference path (golden semantics, one iteration per transaction)   #
     # ------------------------------------------------------------------ #
 
     def _run_burst_reference(
-        self, transactions: Sequence[Transaction], start_cycle: float
+        self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0
     ) -> BurstResult:
         mmu = self.mmu
         memory = self.memory
@@ -176,7 +180,7 @@ class TranslationEngine:
             vpn = va >> vpn_shift
             while True:
                 try:
-                    ready, retry = translate(vpn, cycle)
+                    ready, retry = translate(vpn, cycle, asid)
                 except TranslationFault:
                     if fault_handler is None:
                         raise
@@ -222,7 +226,7 @@ class TranslationEngine:
     # ------------------------------------------------------------------ #
 
     def _run_burst_oracle(
-        self, transactions: Sequence[Transaction], start_cycle: float
+        self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0
     ) -> BurstResult:
         """Oracle burst: translation is free but non-present pages fault.
 
@@ -235,7 +239,7 @@ class TranslationEngine:
         mmu = self.mmu
         memory = self.memory
         stats = mmu.stats
-        resolve = mmu.resolver.resolve_vpn
+        resolve = mmu.resolver_for(asid).resolve_vpn
         vpn_shift = mmu._vpn_shift
         interval = self.issue_interval
 
@@ -382,7 +386,7 @@ class TranslationEngine:
     # ------------------------------------------------------------------ #
 
     def _run_burst_batched(
-        self, transactions: Sequence[Transaction], start_cycle: float
+        self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0
     ) -> BurstResult:
         """Same-page run batching for translated (non-oracle) MMUs.
 
@@ -392,6 +396,11 @@ class TranslationEngine:
         walker-completion event (``heap[0][0]``), so TLB fills and PRMB
         drains interleave with lookups in reference order, and it ends the
         moment its uniform resolution (TLB hit / PRMB merge) stops holding.
+
+        Shared structures are probed with the ASID-tagged key
+        ``vpn | (asid << ASID_SHIFT)``; the tag bits sit above the TLB's
+        set mask, so for ASID 0 every probe is bit-identical to the
+        untagged engine.
         """
         mmu = self.mmu
         memory = self.memory
@@ -426,8 +435,9 @@ class TranslationEngine:
         s_cycles = 256 / ch_bw
         stream_ok = n_channels * interval >= s_cycles
         merge_stream_ok = n_channels >= s_cycles
+        asid_bits = asid << ASID_SHIFT
 
-        # Inlined TLB membership probe: ``vpn in tlb_sets[vpn & set_mask]``
+        # Inlined TLB membership probe: ``key in tlb_sets[key & set_mask]``
         # covers both the fully-associative default (mask 0, one set) and
         # set-associative mode without a method call per transaction.
         tlb_sets = tlb._sets
@@ -469,13 +479,19 @@ class TranslationEngine:
             if heap and heap[0][0] <= cycle:
                 process(cycle)
             vpn = va >> vpn_shift
+            tkey = vpn | asid_bits
             while True:
                 try:
-                    ready, retry = translate(vpn, cycle)
+                    ready, retry = translate(vpn, cycle, asid)
                 except TranslationFault:
                     if fault_handler is None:
                         raise
                     resolved = fault_handler(vpn, cycle)
+                    # The handler may have migrated/remapped pages; drop
+                    # the memoized same-page-run metadata so the batch
+                    # logic re-derives it against post-fault state.
+                    run_vpn = -1
+                    run_end = 0
                     stall += resolved - cycle
                     cycle = resolved
                     process(cycle)
@@ -504,7 +520,7 @@ class TranslationEngine:
             # holds, so page-divergent streams pay two integer ops per
             # transaction for the fast path's existence.
             while i < n and transactions[i][0] >> vpn_shift == vpn:
-                if vpn in tlb_sets[vpn & tlb_set_mask]:
+                if tkey in tlb_sets[tkey & tlb_set_mask]:
                     # Bulk TLB hits over the whole run.  Walk completions
                     # that fall inside the run are deferred to its end and
                     # then retired in one ``process`` call: the pops happen
@@ -595,13 +611,13 @@ class TranslationEngine:
                     stats.tlb_hits += span
                     if heap and heap[0][0] <= last_issue:
                         process(last_issue)
-                    tlb.touch(vpn, span)
+                    tlb.touch(vpn, span, asid)
                     i = j
                     continue
 
                 if not prmb_capacity:
                     break
-                walkers = pts_by_vpn.get(vpn)
+                walkers = pts_by_vpn.get(tkey)
                 if not walkers:
                     break
                 # Bulk PRMB merges: requests park in the first in-flight
@@ -791,6 +807,17 @@ class TranslationEngine:
                     process(cycle)
                     continue
 
+        # Catch deferred retirements up to the reference path's end-of-burst
+        # point (the final transaction's issue cycle).  Within a burst the
+        # next reference step replays the backlog identically, but the next
+        # *burst* may start at an earlier cycle — multi-tenant tenants run
+        # on independent clocks — where a stale backlog would desynchronize
+        # walker allocation between the two paths.
+        if n:
+            last_cycle = cycle - interval
+            if heap and heap[0][0] <= last_cycle:
+                process(last_cycle)
+
         memory.total_bytes += total_bytes
         memory.total_accesses += n
         return BurstResult(
@@ -807,7 +834,10 @@ class TranslationEngine:
     # ------------------------------------------------------------------ #
 
     def run_bursts(
-        self, bursts: Sequence[Sequence[Transaction]], start_cycle: float
+        self,
+        bursts: Sequence[Sequence[Transaction]],
+        start_cycle: float,
+        asid: int = 0,
     ) -> Tuple[List[BurstResult], float]:
         """Run several back-to-back bursts (e.g. a tile's IA then W fetch).
 
@@ -820,7 +850,7 @@ class TranslationEngine:
         cycle = start_cycle
         data_end = start_cycle
         for burst in bursts:
-            result = self.run_burst(burst, cycle)
+            result = self.run_burst(burst, cycle, asid)
             results.append(result)
             cycle = result.issue_end_cycle
             if result.data_end_cycle > data_end:

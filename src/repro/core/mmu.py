@@ -23,9 +23,9 @@ bandwidth is available", Section IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..memory.address import PAGE_SIZE_4K, page_offset_bits
+from ..memory.address import MAX_ASID, PAGE_SIZE_4K, page_offset_bits
 from ..memory.page_table import PageTable
 from .mmu_cache import (
     NullPathCache,
@@ -143,14 +143,34 @@ class TranslationFault(Exception):
 
 
 class MMU:
-    """The translation state machine for one NPU device."""
+    """The translation state machine for one NPU device.
 
-    def __init__(self, config: MMUConfig, page_table: PageTable):
+    An MMU serves one or more address-space *contexts*, each identified by
+    an ASID and owning its own page table (wrapped in a per-context
+    :class:`~repro.core.walk_info.WalkResolver`).  The constructor's
+    ``page_table`` becomes context 0 — the implicit single-tenant default;
+    multi-tenant callers pass ``page_table=None`` and attach each tenant
+    with :meth:`register_context`.  All translation state shared between
+    contexts (TLB, PTS, TPreg/TPC/UPTC) is ASID-tagged, so contexts can
+    never observe each other's translations; :meth:`shootdown` and
+    :meth:`destroy_context` are the invalidation primitives page migration
+    and context teardown use.
+    """
+
+    def __init__(self, config: MMUConfig, page_table: Optional[PageTable]):
         from .prefetch import NextPagePrefetcher
         from .tlb import TLB, TwoLevelTLB  # deferred to avoid doc-build cycles
 
         self.config = config
-        self.resolver = WalkResolver(page_table, config.page_size)
+        self._resolvers: Dict[int, WalkResolver] = {}
+        self.resolver: Optional[WalkResolver] = None
+        if page_table is not None:
+            self.register_context(0, page_table)
+        #: Walkers whose in-flight walk was shot down: the walk still
+        #: completes (freeing the walker) but must not fill the TLB with
+        #: the stale PFN.  Keyed by walker id so a *fresh* post-shootdown
+        #: walk for the same page fills normally.
+        self._poisoned_walkers: set = set()
         self.stats = TranslationStats()
         self._vpn_shift = page_offset_bits(config.page_size)
         self._tlb_latency = config.tlb_hit_latency
@@ -197,6 +217,102 @@ class MMU:
         self.pts = PendingTranslationScoreboard(config.n_walkers)
 
     # ------------------------------------------------------------------ #
+    # address-space contexts                                             #
+    # ------------------------------------------------------------------ #
+
+    def register_context(
+        self, asid: int, page_table: PageTable, page_size: Optional[int] = None
+    ) -> WalkResolver:
+        """Attach an address space: ``asid`` translates via ``page_table``.
+
+        Returns the context's resolver.  ASID 0 is the single-tenant
+        default the constructor registers automatically (when given a page
+        table) and is also exposed as :attr:`resolver`.
+        """
+        if not 0 <= asid <= MAX_ASID:
+            raise ValueError(f"ASID {asid} outside [0, {MAX_ASID}]")
+        if asid in self._resolvers:
+            raise ValueError(f"ASID {asid} already has a registered context")
+        resolver = WalkResolver(
+            page_table, page_size or self.config.page_size, asid=asid
+        )
+        self._resolvers[asid] = resolver
+        if asid == 0:
+            self.resolver = resolver
+        return resolver
+
+    def replace_resolver(self, resolver: WalkResolver, asid: int = 0) -> None:
+        """Swap a registered context's resolver (e.g. for a pre-warmed
+        memoization cache) — the one supported way to write
+        :attr:`resolver`, keeping it in sync with the context table."""
+        if asid not in self._resolvers:
+            raise KeyError(f"no context registered for ASID {asid}")
+        self._resolvers[asid] = resolver
+        if asid == 0:
+            self.resolver = resolver
+
+    def resolver_for(self, asid: int = 0) -> WalkResolver:
+        """The registered context's walk resolver (KeyError when absent)."""
+        try:
+            return self._resolvers[asid]
+        except KeyError:
+            raise KeyError(
+                f"no context registered for ASID {asid}; call register_context"
+            ) from None
+
+    @property
+    def contexts(self) -> List[int]:
+        """ASIDs with a registered context, in registration order."""
+        return list(self._resolvers)
+
+    def shootdown(self, vpn: int, asid: int = 0) -> None:
+        """Invalidate one page's translation everywhere it can be cached.
+
+        The TLB-shootdown primitive of page migration and unmapping: drops
+        the (ASID, VPN) from the TLB hierarchy and the context's memoized
+        walk, so the next access re-walks the (re)mapped page table.  A
+        walk already in flight for the page is *poisoned*: it is removed
+        from the scoreboard immediately (no later request can merge into
+        it) and its eventual completion frees the walker without filling
+        the TLB — while a fresh post-shootdown walk for the same page
+        proceeds normally.  Safe to call for pages that were never cached.
+        """
+        resolver = self._resolvers.get(asid)
+        if resolver is not None:
+            resolver.invalidate(vpn)
+        if self.tlb is not None:
+            self.tlb.invalidate(vpn, asid)
+        if self.pts is not None:
+            walkers = self.pts.peek(vpn, asid)
+            if walkers:
+                for walker in list(walkers):
+                    self.pts.release(vpn, walker, asid)
+                    self._poisoned_walkers.add(walker)
+
+    def destroy_context(self, asid: int) -> None:
+        """Tear down a context: shoot down all its cached translation state.
+
+        In-flight walks are poisoned page by page (scoreboard entries
+        removed, TLB fills suppressed), so teardown is safe at any time —
+        completing a walk for a dead address space can never resurrect its
+        translations, and other contexts' walks are untouched.
+        """
+        if asid not in self._resolvers:
+            raise KeyError(f"no context registered for ASID {asid}")
+        if self.pts is not None:
+            for vpn in self.pts.vpns_for(asid):
+                self.shootdown(vpn, asid)
+        if self.tlb is not None:
+            self.tlb.invalidate_asid(asid)
+        if self.pool is not None:
+            self.pool.shootdown_asid(asid)
+        if self.prefetcher is not None:
+            self.prefetcher.drop_asid(asid)
+        del self._resolvers[asid]
+        if asid == 0:
+            self.resolver = None
+
+    # ------------------------------------------------------------------ #
     # hot path                                                           #
     # ------------------------------------------------------------------ #
 
@@ -204,14 +320,16 @@ class MMU:
         """Virtual page number of ``va`` at this MMU's page size."""
         return va >> self._vpn_shift
 
-    def tlb_contains(self, vpn: int) -> bool:
+    def tlb_contains(self, vpn: int, asid: int = 0) -> bool:
         """Non-destructive TLB probe (used by the prefetcher)."""
         if self.tlb is None:
             return True
-        return self.tlb.contains(vpn)
+        return self.tlb.contains(vpn, asid)
 
-    def translate(self, vpn: int, cycle: float) -> Tuple[Optional[float], float]:
-        """Attempt one translation at ``cycle``.
+    def translate(
+        self, vpn: int, cycle: float, asid: int = 0
+    ) -> Tuple[Optional[float], float]:
+        """Attempt one translation for context ``asid`` at ``cycle``.
 
         Returns ``(ready_cycle, 0.0)`` on success — the cycle the translated
         request is released toward memory — or ``(None, retry_cycle)`` when
@@ -223,32 +341,38 @@ class MMU:
         """
         stats = self.stats
         stats.requests += 1
+        if asid:
+            resolver = self.resolver_for(asid)
+        else:
+            resolver = self.resolver
+            if resolver is None:
+                resolver = self.resolver_for(0)  # the documented KeyError
         if self.config.oracle:
             # Translation is free, but a non-present page still faults —
             # the oracle of the demand-paging study (Fig. 16) pays the same
             # migrations, just zero translation latency.
-            if self.resolver.resolve_vpn(vpn) is None:
+            if resolver.resolve_vpn(vpn) is None:
                 stats.requests -= 1
                 stats.faults += 1
                 raise TranslationFault(vpn)
             return (cycle, 0.0)
 
         if self._two_level:
-            pfn, hit_latency = self.tlb.lookup(vpn)
+            pfn, hit_latency = self.tlb.lookup(vpn, asid)
         else:
-            pfn = self.tlb.lookup(vpn)
+            pfn = self.tlb.lookup(vpn, asid)
             hit_latency = self._tlb_latency
         if pfn is not None:
             stats.tlb_hits += 1
             if self.prefetcher is not None:
-                self.prefetcher.on_demand_hit(vpn)
+                self.prefetcher.on_demand_hit(vpn, asid)
             return (cycle + hit_latency, 0.0)
 
-        walkers = self.pts.lookup(vpn)
+        walkers = self.pts.lookup(vpn, asid)
         redundant = walkers is not None
         if redundant and self.prefetcher is not None:
             # The page's walk is already in flight — possibly ours.
-            self.prefetcher.on_demand_hit(vpn)
+            self.prefetcher.on_demand_hit(vpn, asid)
         if walkers is not None and self._prmb_slots:
             for walker in walkers:
                 ready = self.pool.merge_into(walker)
@@ -257,7 +381,7 @@ class MMU:
                     return (ready, 0.0)
 
         if self.pool.free_walkers:
-            walk = self.resolver.resolve_vpn(vpn)
+            walk = resolver.resolve_vpn(vpn)
             if walk is None:
                 stats.requests -= 1  # the retried request will recount
                 stats.faults += 1
@@ -266,7 +390,7 @@ class MMU:
                 stats.redundant_walk_requests += 1
             walker, completion = self.start_walk(walk, cycle, redundant)
             if self.prefetcher is not None and not redundant:
-                self.prefetcher.on_demand_walk(self, vpn, cycle)
+                self.prefetcher.on_demand_walk(self, vpn, cycle, asid)
             return (completion, 0.0)
 
         # Fully blocked: no merge capacity and no walker.  Retry when the
@@ -283,7 +407,7 @@ class MMU:
     ) -> Tuple[int, float]:
         """Dispatch a walk and register it with the scoreboard."""
         walker, completion = self.pool.start_walk(walk, cycle, redundant)
-        self.pts.register(walk.vpn, walker)
+        self.pts.register(walk.vpn, walker, walk.asid)
         return walker, completion
 
     def process_completions(self, cycle: float) -> None:
@@ -293,9 +417,16 @@ class MMU:
         heap = self.pool.heap
         if not heap or heap[0][0] > cycle:
             return
+        poisoned = self._poisoned_walkers
         for comp in self.pool.complete_until(cycle):
-            self.pts.release(comp.walk.vpn, comp.walker)
-            self.tlb.insert(comp.walk.vpn, comp.walk.pfn)
+            walk = comp.walk
+            if poisoned and comp.walker in poisoned:
+                # Shot down mid-walk: the scoreboard entry was already
+                # released; free the walker without filling the TLB.
+                poisoned.discard(comp.walker)
+                continue
+            self.pts.release(walk.vpn, comp.walker, walk.asid)
+            self.tlb.insert(walk.vpn, walk.pfn, walk.asid)
 
     def earliest_event(self) -> float:
         """Next cycle at which MMU state changes (``inf`` when idle)."""
@@ -353,3 +484,136 @@ class MMU:
                 self.prefetcher.stats.accuracy if self.prefetcher else 0.0
             ),
         )
+
+
+# --------------------------------------------------------------------- #
+# multi-tenant sharing                                                  #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class TenantUsage:
+    """Per-tenant share of a :class:`SharedMMU`'s translation activity.
+
+    Counters are exact per-tenant attributions: bursts run to completion,
+    so diffing the global counters around each tenant burst assigns every
+    request/merge/walk/stall to the context that issued it.
+    """
+
+    asid: int
+    bursts: int = 0
+    transactions: int = 0
+    bytes_moved: int = 0
+    #: Sum of this tenant's burst memory-phase durations (overlapping
+    #: tenants can sum past wall-clock — that is the contention signal).
+    busy_cycles: float = 0.0
+    requests: int = 0
+    tlb_hits: int = 0
+    merges: int = 0
+    walks: int = 0
+    redundant_walks: int = 0
+    walk_level_accesses: int = 0
+    stall_events: int = 0
+    stall_cycles: float = 0.0
+    faults: int = 0
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        """Fraction of this tenant's requests served by the shared TLB."""
+        return self.tlb_hits / self.requests if self.requests else 0.0
+
+
+class SharedMMU:
+    """One MMU, walker pool and memory system serving several tenants.
+
+    The multi-tenant regime of the ROADMAP's scale-out serving scenario:
+    each tenant model owns a private address space (its own page table,
+    registered under its ASID) but *contends* with every other tenant for
+    the shared TLB capacity, PTS/walker pool, PRMB slots and memory
+    bandwidth.  :meth:`run_bursts` routes one tenant's DMA bursts through
+    the shared engine and attributes the translation activity to that
+    tenant, giving the per-tenant contention statistics the isolated
+    single-tenant runs can then be compared against.
+    """
+
+    def __init__(self, config: MMUConfig, memory=None, issue_interval: float = 1.0):
+        from ..memory.dram import MainMemory, MemoryConfig
+        from .engine import TranslationEngine  # deferred: engine imports mmu
+
+        self.config = config
+        self.mmu = MMU(config, page_table=None)
+        self.memory = memory if memory is not None else MainMemory(MemoryConfig())
+        self.engine = TranslationEngine(
+            self.mmu, self.memory, issue_interval=issue_interval
+        )
+        self.usage: Dict[int, TenantUsage] = {}
+
+    def add_tenant(self, asid: int, page_table: PageTable) -> TenantUsage:
+        """Register a tenant context; returns its usage accumulator."""
+        self.mmu.register_context(asid, page_table)
+        self.usage[asid] = TenantUsage(asid=asid)
+        return self.usage[asid]
+
+    def remove_tenant(self, asid: int) -> TenantUsage:
+        """Tear down one tenant's context without disturbing the others.
+
+        The departing tenant's in-flight walks are poisoned in place (see
+        :meth:`MMU.destroy_context`) rather than drained, so the remaining
+        tenants' walk timing and contention are unaffected.  The tenant's
+        usage record is returned (and kept readable) so its statistics
+        survive teardown.
+        """
+        self.mmu.destroy_context(asid)
+        return self.usage[asid]
+
+    @property
+    def tenants(self) -> List[int]:
+        """Registered tenant ASIDs, in registration order."""
+        return list(self.usage)
+
+    def run_bursts(self, asid: int, bursts, start_cycle: float):
+        """Run one tenant's back-to-back bursts through the shared engine.
+
+        Returns ``(burst_results, data_end_cycle)`` exactly like
+        :meth:`~repro.core.engine.TranslationEngine.run_bursts`, while
+        accumulating the translation-counter deltas into the tenant's
+        :class:`TenantUsage`.
+        """
+        usage = self.usage[asid]
+        stats = self.mmu.stats
+        pool_stats = self.mmu.pool.stats if self.mmu.pool is not None else None
+        before = (
+            stats.requests,
+            stats.tlb_hits,
+            stats.merges,
+            stats.stall_events,
+            stats.stall_cycles,
+            stats.faults,
+        )
+        walks_before = (
+            (pool_stats.walks, pool_stats.redundant_walks, pool_stats.level_accesses)
+            if pool_stats is not None
+            else (0, 0, 0)
+        )
+        results, data_end = self.engine.run_bursts(bursts, start_cycle, asid=asid)
+        requests_delta = stats.requests - before[0]
+        usage.requests += requests_delta
+        if self.config.oracle:
+            # RunSummary's oracle convention: every request is a free hit.
+            usage.tlb_hits += requests_delta
+        else:
+            usage.tlb_hits += stats.tlb_hits - before[1]
+        usage.merges += stats.merges - before[2]
+        usage.stall_events += stats.stall_events - before[3]
+        usage.stall_cycles += stats.stall_cycles - before[4]
+        usage.faults += stats.faults - before[5]
+        if pool_stats is not None:
+            usage.walks += pool_stats.walks - walks_before[0]
+            usage.redundant_walks += pool_stats.redundant_walks - walks_before[1]
+            usage.walk_level_accesses += pool_stats.level_accesses - walks_before[2]
+        for result in results:
+            usage.bursts += 1
+            usage.transactions += result.transactions
+            usage.bytes_moved += result.bytes_moved
+            usage.busy_cycles += result.duration
+        return results, data_end

@@ -59,6 +59,10 @@ class PathCache:
     def invalidate_all(self) -> None:
         raise NotImplementedError
 
+    def invalidate_asid(self, asid: int) -> None:
+        """Drop every entry installed by the given context (teardown)."""
+        raise NotImplementedError
+
 
 class NullPathCache(PathCache):
     """No MMU cache: every walk reads every level (baseline IOMMU)."""
@@ -70,6 +74,9 @@ class NullPathCache(PathCache):
         return None
 
     def invalidate_all(self) -> None:
+        return None
+
+    def invalidate_asid(self, asid: int) -> None:
         return None
 
 
@@ -96,8 +103,9 @@ class UnifiedPageTableCache(PathCache):
         self.stats.levels_skippable += skippable
         skip = 0
         for entry_pa in walk.entry_pas[:skippable]:
-            if entry_pa in self._cache:
-                self._cache.move_to_end(entry_pa)
+            key = (walk.asid, entry_pa)
+            if key in self._cache:
+                self._cache.move_to_end(key)
                 skip += 1
             else:
                 break
@@ -105,17 +113,28 @@ class UnifiedPageTableCache(PathCache):
         return skip
 
     def fill(self, walk: WalkInfo) -> None:
-        """Install each upper-level entry this walk read."""
+        """Install each upper-level entry this walk read.
+
+        Entries are keyed by ``(asid, entry PA)``: the model's page tables
+        draw node addresses from per-table synthetic ranges that may
+        collide across contexts, and a real shared UPTC is ASID-tagged for
+        exactly this reason.
+        """
         for entry_pa in walk.entry_pas[: walk.levels - 1]:
-            if entry_pa in self._cache:
-                self._cache.move_to_end(entry_pa)
+            key = (walk.asid, entry_pa)
+            if key in self._cache:
+                self._cache.move_to_end(key)
                 continue
             if len(self._cache) >= self.entries:
                 self._cache.popitem(last=False)
-            self._cache[entry_pa] = True
+            self._cache[key] = True
 
     def invalidate_all(self) -> None:
         self._cache.clear()
+
+    def invalidate_asid(self, asid: int) -> None:
+        for key in [k for k in self._cache if k[0] == asid]:
+            del self._cache[key]
 
 
 class TranslationPathCache(PathCache):
@@ -130,7 +149,7 @@ class TranslationPathCache(PathCache):
         if entries <= 0:
             raise ValueError(f"TPC needs positive capacity, got {entries}")
         self.entries = entries
-        self._cache: OrderedDict = OrderedDict()  # path tuple -> True
+        self._cache: OrderedDict = OrderedDict()  # (asid, path tuple) -> True
         self.stats = PathCacheStats()
         # Per-level tag-match counters, comparable with TPregStats (Fig. 13).
         self.l4_hits = 0
@@ -143,7 +162,9 @@ class TranslationPathCache(PathCache):
         self.stats.levels_skippable += skippable
         best = 0
         best_path = None
-        for cached in self._cache:
+        for asid, cached in self._cache:
+            if asid != walk.asid:
+                continue
             common = 0
             for a, b in zip(cached, walk.path):
                 if a != b:
@@ -151,7 +172,7 @@ class TranslationPathCache(PathCache):
                 common += 1
             if common > best:
                 best = common
-                best_path = cached
+                best_path = (asid, cached)
                 if best == skippable:
                     break
         if best_path is not None:
@@ -166,16 +187,20 @@ class TranslationPathCache(PathCache):
         return best
 
     def fill(self, walk: WalkInfo) -> None:
-        path = walk.path
-        if path in self._cache:
-            self._cache.move_to_end(path)
+        key = (walk.asid, walk.path)
+        if key in self._cache:
+            self._cache.move_to_end(key)
             return
         if len(self._cache) >= self.entries:
             self._cache.popitem(last=False)
-        self._cache[path] = True
+        self._cache[key] = True
 
     def invalidate_all(self) -> None:
         self._cache.clear()
+
+    def invalidate_asid(self, asid: int) -> None:
+        for key in [k for k in self._cache if k[0] == asid]:
+            del self._cache[key]
 
     def hit_rates(self) -> Tuple[float, float, float]:
         """``(L4, L3, L2)`` tag-match rates across all lookups."""

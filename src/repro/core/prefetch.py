@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from ..memory.address import ASID_SHIFT, tagged_vpn
 from .walk_info import WalkResolver
 
 
@@ -57,38 +58,51 @@ class NextPagePrefetcher:
         self.depth = depth
         self.reserve = reserve
         self.stats = PrefetchStats()
-        #: Pages brought in (or in flight) speculatively, for accuracy
-        #: accounting; consumed by :meth:`on_demand_hit`.
+        #: ASID-tagged pages brought in (or in flight) speculatively, for
+        #: accuracy accounting; consumed by :meth:`on_demand_hit`.
         self._outstanding: Set[int] = set()
 
-    def on_demand_walk(self, mmu, vpn: int, cycle: float) -> None:
-        """Issue up to ``depth`` next-page prefetch walks at ``cycle``."""
+    def on_demand_walk(self, mmu, vpn: int, cycle: float, asid: int = 0) -> None:
+        """Issue up to ``depth`` next-page prefetch walks at ``cycle``.
+
+        Prefetches stay inside the demand stream's address space: walks
+        resolve through context ``asid``'s page table and probe the shared
+        structures with that context's tag.
+        """
+        resolver = mmu.resolver_for(asid)
         for offset in range(1, self.depth + 1):
             target = vpn + offset
             if mmu.pool.free_walkers <= self.reserve:
                 self.stats.dropped_no_walker += 1
                 return
             if (
-                mmu.tlb_contains(target)
-                or mmu.pts.peek(target) is not None
-                or target in self._outstanding
+                mmu.tlb_contains(target, asid)
+                or mmu.pts.peek(target, asid) is not None
+                or tagged_vpn(target, asid) in self._outstanding
             ):
                 self.stats.dropped_covered += 1
                 continue
-            walk = mmu.resolver.resolve_vpn(target)
+            walk = resolver.resolve_vpn(target)
             if walk is None:
                 # Never prefetch across an unmapped page (no speculative
                 # page faults).
                 return
             mmu.start_walk(walk, cycle, redundant=False)
-            self._outstanding.add(target)
+            self._outstanding.add(tagged_vpn(target, asid))
             self.stats.issued += 1
 
-    def on_demand_hit(self, vpn: int) -> None:
+    def on_demand_hit(self, vpn: int, asid: int = 0) -> None:
         """Credit a demand access that found a prefetched translation."""
-        if vpn in self._outstanding:
-            self._outstanding.discard(vpn)
+        key = tagged_vpn(vpn, asid)
+        if key in self._outstanding:
+            self._outstanding.discard(key)
             self.stats.useful += 1
+
+    def drop_asid(self, asid: int) -> None:
+        """Forget one context's outstanding prefetches (teardown)."""
+        lo = asid << ASID_SHIFT
+        hi = (asid + 1) << ASID_SHIFT
+        self._outstanding = {k for k in self._outstanding if not lo <= k < hi}
 
     def reset(self) -> None:
         """Clear outstanding-set and statistics."""

@@ -177,6 +177,18 @@ class WalkerPool:
                 cycle=completion, walker=walker, walk=walk, merged_requests=merged
             )
 
+    def shootdown_asid(self, asid: int) -> None:
+        """Purge one context's path state from every walker (teardown).
+
+        TPregs latched with the context's walk paths and shared TPC/UPTC
+        entries it installed are dropped; in-flight walks are the caller's
+        responsibility (the MMU refuses teardown while any are pending).
+        """
+        if self._tpregs is not None:
+            for reg in self._tpregs:
+                reg.invalidate_asid(asid)
+        self._shared_cache.invalidate_asid(asid)
+
     def collect_tpreg_stats(self) -> TPregStats:
         """Aggregate per-walker TPreg counters (Figure 13)."""
         total = TPregStats()

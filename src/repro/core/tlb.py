@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from ..memory.address import ASID_SHIFT
+
 
 class TLB:
     """An LRU TLB mapping virtual page numbers to physical frame numbers.
@@ -22,6 +24,15 @@ class TLB:
     ``associativity=None`` (the default) selects full associativity, which is
     how IOTLBs are typically modelled in the GPU-MMU literature the paper
     builds on.  Set-associative mode is provided for sensitivity studies.
+
+    Entries are tagged with an address-space identifier: every probe/fill
+    method takes ``asid`` (default 0) and internally keys the entry by
+    ``vpn | (asid << ASID_SHIFT)``.  The tag bits sit above every possible
+    VPN *and* above the set-index mask, so ASID 0 behaves exactly like the
+    historical untagged TLB — same sets, same LRU order, same victims —
+    while distinct contexts can never alias each other's translations.
+    Context teardown and page migration use :meth:`invalidate_asid` /
+    :meth:`invalidate` as the shootdown primitives.
     """
 
     def __init__(self, entries: int = 2048, associativity: Optional[int] = None):
@@ -48,25 +59,24 @@ class TLB:
             self._set_mask = n_sets - 1
             self._ways = associativity
 
-    def _set_for(self, vpn: int) -> OrderedDict:
-        return self._sets[vpn & self._set_mask]
-
-    def lookup(self, vpn: int) -> Optional[int]:
+    def lookup(self, vpn: int, asid: int = 0) -> Optional[int]:
         """Probe the TLB; returns the cached PFN or None, updating LRU/stats."""
-        entry_set = self._set_for(vpn)
-        pfn = entry_set.get(vpn)
+        key = vpn | (asid << ASID_SHIFT)
+        entry_set = self._sets[key & self._set_mask]
+        pfn = entry_set.get(key)
         if pfn is None:
             self.misses += 1
             return None
-        entry_set.move_to_end(vpn)
+        entry_set.move_to_end(key)
         self.hits += 1
         return pfn
 
-    def contains(self, vpn: int) -> bool:
+    def contains(self, vpn: int, asid: int = 0) -> bool:
         """Probe without disturbing LRU order or statistics."""
-        return vpn in self._set_for(vpn)
+        key = vpn | (asid << ASID_SHIFT)
+        return key in self._sets[key & self._set_mask]
 
-    def touch(self, vpn: int, count: int = 1) -> None:
+    def touch(self, vpn: int, count: int = 1, asid: int = 0) -> None:
         """Bulk equivalent of ``count`` consecutive hitting lookups.
 
         ``count`` back-to-back lookups of a resident VPN bump it to MRU
@@ -75,28 +85,47 @@ class TLB:
         ``KeyError`` when the VPN is not resident (callers must check
         :meth:`contains` first).
         """
-        entry_set = self._set_for(vpn)
-        entry_set.move_to_end(vpn)
+        key = vpn | (asid << ASID_SHIFT)
+        entry_set = self._sets[key & self._set_mask]
+        entry_set.move_to_end(key)
         self.hits += count
 
-    def insert(self, vpn: int, pfn: int) -> None:
+    def insert(self, vpn: int, pfn: int, asid: int = 0) -> None:
         """Fill an entry (typically on page-table-walk completion)."""
-        entry_set = self._set_for(vpn)
-        if vpn in entry_set:
-            entry_set.move_to_end(vpn)
-            entry_set[vpn] = pfn
+        key = vpn | (asid << ASID_SHIFT)
+        entry_set = self._sets[key & self._set_mask]
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            entry_set[key] = pfn
             return
         if len(entry_set) >= self._ways:
             entry_set.popitem(last=False)
-        entry_set[vpn] = pfn
+        entry_set[key] = pfn
 
-    def invalidate(self, vpn: int) -> bool:
+    def invalidate(self, vpn: int, asid: int = 0) -> bool:
         """Drop one translation (e.g. after page migration); True if present."""
-        entry_set = self._set_for(vpn)
-        if vpn in entry_set:
-            del entry_set[vpn]
+        key = vpn | (asid << ASID_SHIFT)
+        entry_set = self._sets[key & self._set_mask]
+        if key in entry_set:
+            del entry_set[key]
             return True
         return False
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Shoot down every entry of one address space (context teardown).
+
+        Returns the number of entries dropped.  LRU order of surviving
+        entries and all statistics are untouched.
+        """
+        lo = asid << ASID_SHIFT
+        hi = (asid + 1) << ASID_SHIFT
+        dropped = 0
+        for entry_set in self._sets:
+            victims = [key for key in entry_set if lo <= key < hi]
+            for key in victims:
+                del entry_set[key]
+            dropped += len(victims)
+        return dropped
 
     def flush(self) -> None:
         """Invalidate everything (keeps hit/miss statistics)."""
@@ -152,31 +181,35 @@ class TwoLevelTLB:
         self.l1_latency = l1_latency
         self.l2_latency = l2_latency
 
-    def lookup(self, vpn: int):
+    def lookup(self, vpn: int, asid: int = 0):
         """Probe L1 then L2; returns ``(pfn or None, hit_latency)``."""
-        pfn = self.l1.lookup(vpn)
+        pfn = self.l1.lookup(vpn, asid)
         if pfn is not None:
             return pfn, self.l1_latency
-        pfn = self.l2.lookup(vpn)
+        pfn = self.l2.lookup(vpn, asid)
         if pfn is not None:
-            self.l1.insert(vpn, pfn)
+            self.l1.insert(vpn, pfn, asid)
             return pfn, self.l1_latency + self.l2_latency
         return None, self.l1_latency + self.l2_latency
 
-    def insert(self, vpn: int, pfn: int) -> None:
+    def insert(self, vpn: int, pfn: int, asid: int = 0) -> None:
         """Fill both levels (walk completion)."""
-        self.l1.insert(vpn, pfn)
-        self.l2.insert(vpn, pfn)
+        self.l1.insert(vpn, pfn, asid)
+        self.l2.insert(vpn, pfn, asid)
 
-    def invalidate(self, vpn: int) -> bool:
+    def invalidate(self, vpn: int, asid: int = 0) -> bool:
         """Drop a translation from both levels."""
-        in_l1 = self.l1.invalidate(vpn)
-        in_l2 = self.l2.invalidate(vpn)
+        in_l1 = self.l1.invalidate(vpn, asid)
+        in_l2 = self.l2.invalidate(vpn, asid)
         return in_l1 or in_l2
 
-    def contains(self, vpn: int) -> bool:
+    def invalidate_asid(self, asid: int) -> int:
+        """Shoot down one address space at both levels; returns drops."""
+        return self.l1.invalidate_asid(asid) + self.l2.invalidate_asid(asid)
+
+    def contains(self, vpn: int, asid: int = 0) -> bool:
         """Probe either level without touching LRU state."""
-        return self.l1.contains(vpn) or self.l2.contains(vpn)
+        return self.l1.contains(vpn, asid) or self.l2.contains(vpn, asid)
 
     def flush(self) -> None:
         """Invalidate both levels."""

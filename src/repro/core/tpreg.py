@@ -59,16 +59,23 @@ class TPreg:
     ISCA'10].
     """
 
-    __slots__ = ("_path", "stats")
+    __slots__ = ("_path", "_asid", "stats")
 
     def __init__(self) -> None:
         self._path: Optional[Tuple[int, ...]] = None
+        self._asid: int = 0
         self.stats = TPregStats()
 
     def lookup(self, walk: WalkInfo) -> int:
-        """Number of upper levels of ``walk`` whose reads can be skipped."""
+        """Number of upper levels of ``walk`` whose reads can be skipped.
+
+        The latched path carries the ASID of the walk that filled it:
+        upper-level pointers from one context's page table are meaningless
+        in another, so a register shared across tenants misses (never
+        aliases) when the requesting walk's ASID differs.
+        """
         self.stats.walks += 1
-        if self._path is None:
+        if self._path is None or self._asid != walk.asid:
             return 0
         skip = 0
         for cached, wanted in zip(self._path, walk.path):
@@ -86,12 +93,19 @@ class TPreg:
         return skip
 
     def fill(self, walk: WalkInfo) -> None:
-        """Latch the just-completed walk's upper-level path."""
+        """Latch the just-completed walk's upper-level path (and its ASID)."""
         self._path = walk.path
+        self._asid = walk.asid
 
     def invalidate(self) -> None:
         """Clear the register (TLB-shootdown style)."""
         self._path = None
+        self._asid = 0
+
+    def invalidate_asid(self, asid: int) -> None:
+        """Clear the register iff it holds the given context's path."""
+        if self._path is not None and self._asid == asid:
+            self.invalidate()
 
     @property
     def path(self) -> Optional[Tuple[int, ...]]:

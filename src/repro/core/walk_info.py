@@ -39,6 +39,10 @@ class WalkInfo:
     entry_pas:
         Physical address of the entry read at each level, outermost first;
         ``len(entry_pas) == levels``.
+    asid:
+        Address-space identifier of the context this walk belongs to.
+        Single-context simulations leave it at 0; multi-tenant runs use it
+        to tag shared translation structures (TLB, PTS, path caches).
     """
 
     vpn: int
@@ -47,14 +51,24 @@ class WalkInfo:
     levels: int
     path: Tuple[int, ...]
     entry_pas: Tuple[int, ...]
+    asid: int = 0
 
 
 class WalkResolver:
-    """Memoizing functional-walk front-end for the timing engine."""
+    """Memoizing functional-walk front-end for the timing engine.
 
-    def __init__(self, page_table: PageTable, page_size: int = PAGE_SIZE_4K):
+    One resolver serves one address-space context: it wraps that context's
+    page table and stamps every :class:`WalkInfo` it produces with the
+    context's ``asid``, which is how walk results carry their origin into
+    ASID-tagged shared structures.
+    """
+
+    def __init__(
+        self, page_table: PageTable, page_size: int = PAGE_SIZE_4K, asid: int = 0
+    ):
         self.page_table = page_table
         self.page_size = page_size
+        self.asid = asid
         self._offset_bits = page_offset_bits(page_size)
         self._cache: Dict[int, Optional[WalkInfo]] = {}
 
@@ -81,6 +95,7 @@ class WalkResolver:
             levels=result.levels_accessed,
             path=path,
             entry_pas=tuple(step.entry_pa for step in result.steps),
+            asid=self.asid,
         )
         self._cache[vpn] = info
         return info

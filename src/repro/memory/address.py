@@ -34,6 +34,17 @@ PAGE_SIZE_4K = 4 * 1024
 #: Large page (Section VI-A).
 PAGE_SIZE_2M = 2 * 1024 * 1024
 
+#: Bit position of the address-space identifier in a tagged VPN.  Virtual
+#: page numbers occupy at most ``VA_BITS - 12 = 36`` bits, so shifting the
+#: ASID past the full 48-bit VA keeps the tag disjoint from any VPN and
+#: makes ``tagged_vpn(vpn, 0) == vpn`` — the single-address-space fast
+#: paths never pay for the tag.
+ASID_SHIFT = VA_BITS
+
+#: Largest supported address-space identifier (16-bit ASIDs, as in ARM/
+#: RISC-V style MMUs).
+MAX_ASID = (1 << 16) - 1
+
 #: Region of VA space covered by a single entry at each level, smallest first:
 #: an L1 entry maps 4 KB, an L2 entry maps 2 MB, an L3 entry 1 GB, L4 512 GB.
 LEVEL_COVERAGE = tuple(PAGE_SIZE_4K << (INDEX_BITS * i) for i in range(PAGE_TABLE_LEVELS))
@@ -47,6 +58,19 @@ def _check_page_size(page_size: int) -> int:
     if page_size not in (PAGE_SIZE_4K, PAGE_SIZE_2M):
         raise AddressError(f"unsupported page size {page_size}; use 4 KB or 2 MB")
     return page_size
+
+
+def tagged_vpn(vpn: int, asid: int = 0) -> int:
+    """Compose an (ASID, VPN) pair into one tagged key.
+
+    Translation structures shared by several address spaces (TLB, PTS,
+    engine fast paths) key their entries by this value; with ``asid == 0``
+    it degenerates to the bare VPN, so single-context callers are
+    unaffected.
+    """
+    if not 0 <= asid <= MAX_ASID:
+        raise AddressError(f"ASID {asid} outside [0, {MAX_ASID}]")
+    return vpn | (asid << ASID_SHIFT)
 
 
 def page_offset_bits(page_size: int = PAGE_SIZE_4K) -> int:

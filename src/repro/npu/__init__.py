@@ -8,12 +8,17 @@ provides the Section VI-B spatial-array alternative.
 from .config import TABLE1, InterconnectConfig, NPUConfig
 from .dma import DMAEngine, FetchSpec, PageDivergence, distinct_pages
 from .simulator import (
+    ARBITRATION_POLICIES,
     Fidelity,
     LayerResult,
+    MultiTenantResult,
+    MultiTenantSimulator,
     NPUSimulator,
     RunResult,
+    TenantResult,
     normalized_performance,
     normalized_vs_oracle,
+    run_multi_tenant,
     run_workload,
 )
 from .spatial import SpatialArrayConfig, SpatialArrayModel
@@ -36,6 +41,7 @@ from .tiling import (
 )
 
 __all__ = [
+    "ARBITRATION_POLICIES",
     "TABLE1",
     "ConvGeometry",
     "DMAEngine",
@@ -45,9 +51,12 @@ __all__ = [
     "InterconnectConfig",
     "LayerResult",
     "LayerSchedule",
+    "MultiTenantResult",
+    "MultiTenantSimulator",
     "NPUConfig",
     "NPUSimulator",
     "PageDivergence",
+    "TenantResult",
     "ReplayResult",
     "RunResult",
     "SPMCapacityError",
@@ -67,5 +76,6 @@ __all__ = [
     "plan_conv",
     "plan_gemm",
     "plan_recurrent",
+    "run_multi_tenant",
     "run_workload",
 ]

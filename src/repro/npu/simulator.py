@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import TranslationEngine
-from ..core.mmu import MMU, MMUConfig, oracle_config
+from ..core.mmu import MMU, MMUConfig, SharedMMU, TenantUsage, oracle_config
 from ..core.stats import RunSummary
 from ..memory.allocator import AddressSpace
 from ..memory.dram import MainMemory
@@ -104,6 +104,8 @@ class NPUSimulator:
         timeline_window: int = 0,
         trace_va: bool = False,
         memory_bytes: int = 64 * 1024**3,
+        shared_mmu: Optional[SharedMMU] = None,
+        asid: int = 0,
     ):
         self.workload = workload
         self.mmu_config = mmu_config
@@ -113,6 +115,7 @@ class NPUSimulator:
         self.warmup = max(1, warmup)
         self.timeline_window = timeline_window
         self.trace_va = trace_va
+        self.asid = asid
 
         self.address_space = AddressSpace(
             memory_bytes=memory_bytes, page_size=mmu_config.page_size
@@ -121,11 +124,25 @@ class NPUSimulator:
         # Run metadata on generated streams must match the MMU's page size
         # for the engine's batched fast path to use it.
         self.dma.run_page_size = mmu_config.page_size
-        self.memory = MainMemory(self.npu_config.memory)
-        self.mmu = MMU(mmu_config, self.address_space.page_table)
-        self.engine = TranslationEngine(
-            self.mmu, self.memory, timeline_window=timeline_window
-        )
+        self._shared = shared_mmu
+        if shared_mmu is not None:
+            # Multi-tenant mode: this simulator is one tenant of a shared
+            # translation stack.  Its address space registers under ``asid``
+            # and every burst routes through the shared engine (which also
+            # attributes per-tenant usage).  Timeline capture belongs to the
+            # shared engine's owner, so it is unsupported here.
+            if timeline_window:
+                raise ValueError("timeline_window is unsupported with shared_mmu")
+            self.memory = shared_mmu.memory
+            self.mmu = shared_mmu.mmu
+            self.engine = shared_mmu.engine
+            shared_mmu.add_tenant(asid, self.address_space.page_table)
+        else:
+            self.memory = MainMemory(self.npu_config.memory)
+            self.mmu = MMU(mmu_config, self.address_space.page_table)
+            self.engine = TranslationEngine(
+                self.mmu, self.memory, timeline_window=timeline_window
+            )
         self._schedules = self._build_schedules()
 
     # ------------------------------------------------------------------ #
@@ -179,80 +196,25 @@ class NPUSimulator:
     # ------------------------------------------------------------------ #
 
     def run(self) -> RunResult:
-        """Execute the workload; returns timing + translation statistics."""
-        cycle = 0.0
-        layer_results: List[LayerResult] = []
-        va_trace: List[Tuple[int, int, int, str]] = []
-        step_counter = 0
+        """Execute the workload; returns timing + translation statistics.
 
-        # FAST-mode cache: step signature -> list of simulated durations
-        # (memory-phase length, issue-port occupancy).
-        timing_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
-
-        for schedule in self._schedules:
-            layer_compute = 0.0
-            simulated_steps = 0
-
-            # Double-buffer pipeline state:
-            #   mem_end[i]   — when step i's tile is fully in SPM
-            #   comp_end[i]  — when step i's compute finishes
-            # Fetch i+1 may start once fetch i's issue port frees and the
-            # receiving buffer is free (compute i-1 done); compute i starts
-            # at max(mem_end[i], comp_end[i-1]).
-            prev_comp_end = cycle
-            prev_prev_comp_end = cycle
-            mem_free = cycle  # when the DMA issue port frees
-
-            for step in schedule.steps:
-                mem_start = max(mem_free, prev_prev_comp_end)
-                mem_duration, issue_duration, simulated = self._step_memory_phase(
-                    step, mem_start, timing_cache
-                )
-                if simulated:
-                    simulated_steps += 1
-                    if self.trace_va:
-                        for fetch in step.fetches:
-                            extents = fetch.extents()
-                            lo = min(e.va for e in extents)
-                            hi = max(e.end for e in extents)
-                            va_trace.append((step_counter, lo, hi, fetch.tensor))
-                mem_end = mem_start + mem_duration
-                mem_free = mem_start + issue_duration
-
-                compute_cycles = self.compute_model.gemm_cycles(
-                    step.compute.m, step.compute.k, step.compute.n
-                )
-                comp_start = max(mem_end, prev_comp_end)
-                comp_end = comp_start + compute_cycles
-
-                layer_compute += compute_cycles
-                prev_prev_comp_end = prev_comp_end
-                prev_comp_end = comp_end
-                step_counter += 1
-
-            layer_end = prev_comp_end
-            layer_results.append(
-                LayerResult(
-                    name=schedule.name,
-                    steps=len(schedule.steps),
-                    cycles=layer_end - cycle,
-                    compute_cycles=layer_compute,
-                    fetch_bytes=schedule.total_fetch_bytes,
-                    simulated_steps=simulated_steps,
-                )
-            )
-            cycle = layer_end
-
+        The double-buffered tile pipeline itself lives in
+        :class:`_TenantRun` (the stepwise form the multi-tenant arbiter
+        interleaves); a single-tenant run simply steps it to completion.
+        """
+        run = _TenantRun(self)
+        while not run.done:
+            run.advance()
         self.mmu.drain()
         return RunResult(
             workload=self.workload.name,
             mmu_name=self.mmu_config.name,
-            total_cycles=cycle,
-            layers=layer_results,
+            total_cycles=run.cycle,
+            layers=run.layer_results,
             mmu_summary=self.mmu.summary(),
             page_divergence=self.page_divergence() if self.trace_va else {},
             translation_timeline=self.engine.timeline_series(),
-            va_trace=va_trace,
+            va_trace=run.va_trace,
         )
 
     def _step_memory_phase(
@@ -282,7 +244,10 @@ class NPUSimulator:
             return (mean_duration, mean_issue, False)
 
         bursts = [self.dma.transactions(fetch) for fetch in step.fetches]
-        results, data_end = self.engine.run_bursts(bursts, mem_start)
+        if self._shared is not None:
+            results, data_end = self._shared.run_bursts(self.asid, bursts, mem_start)
+        else:
+            results, data_end = self.engine.run_bursts(bursts, mem_start)
         duration = data_end - mem_start
         issue = results[-1].issue_end_cycle - mem_start
         if history is None:
@@ -290,6 +255,251 @@ class NPUSimulator:
         else:
             history.append((duration, issue))
         return (duration, issue, True)
+
+
+# --------------------------------------------------------------------- #
+# multi-tenant execution                                                #
+# --------------------------------------------------------------------- #
+
+#: Supported shared-MMU arbitration policies.
+ARBITRATION_POLICIES = ("round_robin", "priority")
+
+
+@dataclass
+class TenantResult:
+    """One tenant's outcome under a shared MMU."""
+
+    asid: int
+    workload: str
+    total_cycles: float
+    layers: List[LayerResult]
+    usage: TenantUsage
+
+
+@dataclass
+class MultiTenantResult:
+    """One multi-tenant contention run (N workloads, one shared MMU)."""
+
+    mmu_name: str
+    arbitration: str
+    tenants: List[TenantResult]
+    #: Cycle at which the slowest tenant finished.
+    makespan_cycles: float
+    #: Combined translation activity of the shared MMU.
+    mmu_summary: RunSummary
+
+    def tenant(self, asid: int) -> TenantResult:
+        """Look up one tenant's result by ASID."""
+        for result in self.tenants:
+            if result.asid == asid:
+                return result
+        raise KeyError(f"no tenant with ASID {asid}")
+
+
+class _TenantRun:
+    """Stepwise replay of one simulator's double-buffered tile pipeline.
+
+    The pipeline's canonical form: :meth:`NPUSimulator.run` steps one of
+    these to completion, and the multi-tenant arbiter interleaves tile
+    steps from several of them onto one shared MMU.  Per tile step,
+    fetch *i+1* may start once fetch *i*'s issue port frees and the
+    receiving buffer is free (compute *i-1* done); compute *i* starts at
+    ``max(mem_end[i], comp_end[i-1])``.  All pipeline state (the overlap
+    bookkeeping, the FAST-fidelity timing cache, the optional VA trace)
+    is private to the run; only the translation machinery and memory
+    system underneath may be shared.
+    """
+
+    def __init__(self, sim: NPUSimulator):
+        self.sim = sim
+        # FAST-mode cache: step signature -> list of simulated durations
+        # (memory-phase length, issue-port occupancy).
+        self.timing_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
+        self.layer_idx = 0
+        self.step_idx = 0
+        self.step_counter = 0
+        self.cycle = 0.0  # current layer's start cycle
+        self.prev_comp_end = 0.0
+        self.prev_prev_comp_end = 0.0
+        self.mem_free = 0.0  # when the DMA issue port frees
+        self.layer_results: List[LayerResult] = []
+        self.va_trace: List[Tuple[int, int, int, str]] = []
+        self.layer_compute = 0.0
+        self.simulated_steps = 0
+        self.done = not sim._schedules
+        self._skip_empty_layers()
+
+    def _close_layer(self) -> None:
+        schedule = self.sim._schedules[self.layer_idx]
+        layer_end = self.prev_comp_end
+        self.layer_results.append(
+            LayerResult(
+                name=schedule.name,
+                steps=len(schedule.steps),
+                cycles=layer_end - self.cycle,
+                compute_cycles=self.layer_compute,
+                fetch_bytes=schedule.total_fetch_bytes,
+                simulated_steps=self.simulated_steps,
+            )
+        )
+        self.cycle = layer_end
+        self.layer_compute = 0.0
+        self.simulated_steps = 0
+        self.step_idx = 0
+        self.layer_idx += 1
+        self.prev_comp_end = self.cycle
+        self.prev_prev_comp_end = self.cycle
+        self.mem_free = self.cycle
+        if self.layer_idx >= len(self.sim._schedules):
+            self.done = True
+
+    def _skip_empty_layers(self) -> None:
+        while not self.done and not self.sim._schedules[self.layer_idx].steps:
+            self._close_layer()
+
+    def advance(self) -> None:
+        """Execute one tile step (fetch + compute bookkeeping)."""
+        if self.done:
+            raise RuntimeError("tenant already finished")
+        sim = self.sim
+        step = sim._schedules[self.layer_idx].steps[self.step_idx]
+
+        mem_start = max(self.mem_free, self.prev_prev_comp_end)
+        mem_duration, issue_duration, simulated = sim._step_memory_phase(
+            step, mem_start, self.timing_cache
+        )
+        if simulated:
+            self.simulated_steps += 1
+            if sim.trace_va:
+                for fetch in step.fetches:
+                    extents = fetch.extents()
+                    lo = min(e.va for e in extents)
+                    hi = max(e.end for e in extents)
+                    self.va_trace.append((self.step_counter, lo, hi, fetch.tensor))
+        mem_end = mem_start + mem_duration
+        self.mem_free = mem_start + issue_duration
+
+        compute_cycles = sim.compute_model.gemm_cycles(
+            step.compute.m, step.compute.k, step.compute.n
+        )
+        comp_start = max(mem_end, self.prev_comp_end)
+        self.layer_compute += compute_cycles
+        self.prev_prev_comp_end = self.prev_comp_end
+        self.prev_comp_end = comp_start + compute_cycles
+
+        self.step_idx += 1
+        self.step_counter += 1
+        if self.step_idx >= len(sim._schedules[self.layer_idx].steps):
+            self._close_layer()
+            self._skip_empty_layers()
+
+
+class MultiTenantSimulator:
+    """Runs N tenant workloads against one shared translation stack.
+
+    Each tenant owns a private address space (registered under its ASID on
+    the shared :class:`~repro.core.mmu.SharedMMU`) and a private tile
+    pipeline; the TLB, PTS/walker pool, PRMB capacity, path caches and
+    memory bandwidth are shared.  Arbitration decides whose tile step the
+    shared DMA front-end services next:
+
+    * ``round_robin`` — tenants take strict turns, one tile step each;
+      bursts from different tenants overlap in time, so walkers and memory
+      channels see genuinely mixed traffic (the contention regime).
+    * ``priority`` — lower ASIDs run to completion first (a strict
+      time-multiplexed grant); later tenants inherit a polluted TLB/path
+      state but never overlap with earlier ones.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence,
+        mmu_config: MMUConfig,
+        npu_config: Optional[NPUConfig] = None,
+        arbitration: str = "round_robin",
+        compute_model=None,
+        fidelity: Fidelity = Fidelity.FAST,
+        warmup: int = 4,
+        memory_bytes: int = 64 * 1024**3,
+    ):
+        if not workloads:
+            raise ValueError("need at least one tenant workload")
+        if arbitration not in ARBITRATION_POLICIES:
+            raise ValueError(
+                f"arbitration must be one of {ARBITRATION_POLICIES}, "
+                f"got {arbitration!r}"
+            )
+        self.mmu_config = mmu_config
+        self.npu_config = npu_config or NPUConfig()
+        self.arbitration = arbitration
+        self.shared = SharedMMU(mmu_config, MainMemory(self.npu_config.memory))
+        self.tenants = [
+            NPUSimulator(
+                workload,
+                mmu_config,
+                self.npu_config,
+                compute_model=compute_model,
+                fidelity=fidelity,
+                warmup=warmup,
+                memory_bytes=memory_bytes,
+                shared_mmu=self.shared,
+                asid=asid,
+            )
+            for asid, workload in enumerate(workloads)
+        ]
+
+    def run(self) -> MultiTenantResult:
+        """Execute all tenants to completion under the arbitration policy."""
+        runs = [_TenantRun(tenant) for tenant in self.tenants]
+        if self.arbitration == "priority":
+            for run in runs:
+                while not run.done:
+                    run.advance()
+        else:
+            pending = [run for run in runs if not run.done]
+            while pending:
+                for run in list(pending):
+                    run.advance()
+                    if run.done:
+                        pending.remove(run)
+        self.shared.mmu.drain()
+        tenants = [
+            TenantResult(
+                asid=tenant.asid,
+                workload=tenant.workload.name,
+                total_cycles=run.cycle,
+                layers=run.layer_results,
+                usage=self.shared.usage[tenant.asid],
+            )
+            for tenant, run in zip(self.tenants, runs)
+        ]
+        return MultiTenantResult(
+            mmu_name=self.mmu_config.name,
+            arbitration=self.arbitration,
+            tenants=tenants,
+            makespan_cycles=max(t.total_cycles for t in tenants),
+            mmu_summary=self.shared.mmu.summary(),
+        )
+
+
+def run_multi_tenant(
+    workload_factory,
+    mmu_config: MMUConfig,
+    n_tenants: int,
+    npu_config: Optional[NPUConfig] = None,
+    **kwargs,
+) -> MultiTenantResult:
+    """Run ``n_tenants`` copies of one workload on a shared MMU.
+
+    ``workload_factory`` is called once per tenant so each context gets a
+    fresh workload instance backed by its own address space — the
+    homogeneous-tenant serving scenario.
+    """
+    if n_tenants <= 0:
+        raise ValueError("need at least one tenant")
+    workloads = [workload_factory() for _ in range(n_tenants)]
+    sim = MultiTenantSimulator(workloads, mmu_config, npu_config, **kwargs)
+    return sim.run()
 
 
 def run_workload(

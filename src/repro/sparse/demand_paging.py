@@ -149,7 +149,11 @@ class DemandPagingSimulator:
         va = vpn << self._vpn_shift
         base = va & ~(self.page_size - 1)
         self.space.touch(base, self.page_size)
-        self.mmu.resolver.invalidate(vpn)
+        # The migrated page now maps to a *new* local frame: shoot down
+        # every cached translation (memoized walk + TLB hierarchy) so no
+        # path can ever serve the stale remote PFN.  The engine drops its
+        # batched-run memo on every fault for the same reason.
+        self.mmu.shootdown(vpn)
 
         transfer = self._link.bulk_transfer_cycles(self.page_size)
         resolved = cycle + self.system.fault_overhead_cycles + transfer
@@ -177,9 +181,7 @@ class DemandPagingSimulator:
             self._resident_bytes -= size
             base = evicted << self._vpn_shift
             self.space.page_table.unmap_page(base, self.page_size)
-            self.mmu.resolver.invalidate(evicted)
-            if self.mmu.tlb is not None:
-                self.mmu.tlb.invalidate(evicted)
+            self.mmu.shootdown(evicted)
             self.evictions += 1
 
     # ------------------------------------------------------------------ #

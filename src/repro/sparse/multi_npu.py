@@ -53,45 +53,73 @@ class ShardedModel:
     # all-to-all accounting                                              #
     # ------------------------------------------------------------------ #
 
-    def lookup_bytes_per_npu(self, batch: int) -> int:
+    def batch_slices(self, batch: int) -> List[int]:
+        """Exact per-NPU sample counts: an even partition of ``batch``.
+
+        The first ``batch % n_npus`` NPUs take one extra sample, so the
+        slices always sum to ``batch`` — the invariant the byte-conservation
+        arithmetic below rests on.
+        """
+        if batch < 0:
+            raise ValueError(f"batch cannot be negative, got {batch}")
+        base, extra = divmod(batch, self.n_npus)
+        return [base + (1 if npu < extra else 0) for npu in range(self.n_npus)]
+
+    def alltoall_matrix(self, batch: int) -> List[List[int]]:
+        """Exact shuffle volume: ``matrix[o][d]`` bytes flow owner → dest.
+
+        Owner ``o`` gathered the whole minibatch's lookups for its tables;
+        destination ``d`` needs the rows for its ``batch_slices(batch)[d]``
+        samples of every table it does not own.  Both the send and receive
+        totals are projections of this one matrix, so
+        ``sum(sends) == sum(recvs)`` holds for *every* (n_npus, batch,
+        table-count) combination — the seed's independently-rounded
+        formulas leaked bytes whenever the batch or the tables divided
+        unevenly.
+        """
+        slices = self.batch_slices(batch)
+        lookups = self.model.lookups_per_table
+        matrix = [[0] * self.n_npus for _ in range(self.n_npus)]
+        for owner, shard in enumerate(self.shards):
+            bytes_per_sample = sum(t.vector_bytes for t in shard.tables) * lookups
+            for dest in range(self.n_npus):
+                if dest != owner:
+                    matrix[owner][dest] = bytes_per_sample * slices[dest]
+        return matrix
+
+    def lookup_bytes_per_npu(self, batch: int) -> List[int]:
         """Bytes each owner NPU gathers locally during the lookup phase.
 
         Each owner looks up *the whole minibatch* against its tables
-        (model parallelism).
+        (model parallelism); element ``i`` is NPU ``i``'s gather volume.
+        Use :meth:`max_lookup_bytes` for the critical-path (largest) shard.
         """
-        per_npu = [
+        return [
             sum(
                 t.vector_bytes * self.model.lookups_per_table * batch
                 for t in shard.tables
             )
             for shard in self.shards
         ]
+
+    def max_lookup_bytes(self, batch: int) -> int:
+        """Largest per-NPU lookup gather — the phase's critical path."""
+        per_npu = self.lookup_bytes_per_npu(batch)
         return max(per_npu) if per_npu else 0
 
     def alltoall_send_bytes(self, npu: int, batch: int) -> int:
-        """Bytes ``npu`` must ship to *other* NPUs after its local lookups.
-
-        Owner ``npu`` gathered ``batch`` lookups per local table; every
-        other NPU needs its ``batch / n`` slice of each.
-        """
-        mine = sum(
-            t.vector_bytes * self.model.lookups_per_table * batch
-            for t in self.shards[npu].tables
-        )
-        return mine * (self.n_npus - 1) // self.n_npus
+        """Bytes ``npu`` ships to *other* NPUs after its local lookups."""
+        row = self.alltoall_matrix(batch)[npu]
+        return sum(row)
 
     def alltoall_recv_bytes(self, npu: int, batch: int) -> int:
         """Bytes ``npu`` receives: its batch slice from all remote tables."""
-        slice_samples = batch // self.n_npus if self.n_npus > 1 else batch
-        remote = 0
-        for i, table in enumerate(self.model.tables):
-            if self.owner_of(i) != npu:
-                remote += table.vector_bytes * self.model.lookups_per_table * slice_samples
-        return remote
+        matrix = self.alltoall_matrix(batch)
+        return sum(matrix[owner][npu] for owner in range(self.n_npus))
 
     def alltoall_total_bytes(self, batch: int) -> int:
         """Total bytes crossing the interconnect in the shuffle."""
-        return sum(self.alltoall_send_bytes(n, batch) for n in range(self.n_npus))
+        return sum(sum(row) for row in self.alltoall_matrix(batch))
 
 
 def shard_model(model: RecSysModel, n_npus: int) -> ShardedModel:

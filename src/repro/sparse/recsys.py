@@ -89,10 +89,11 @@ class RecSysSystem:
         """Owner-side gather of the whole batch from local HBM.
 
         Random vector reads pipelined against local memory (Table I
-        latency/bandwidth).
+        latency/bandwidth).  The slowest (largest) shard gates the phase,
+        so the critical path is the max across owners.
         """
         mem = self.config.memory
-        bytes_needed = self.sharded.lookup_bytes_per_npu(batch)
+        bytes_needed = self.sharded.max_lookup_bytes(batch)
         if bytes_needed == 0:
             return 0.0
         vectors = max(1, bytes_needed // max(1, self.model.tables[0].vector_bytes))

@@ -19,6 +19,13 @@ class TestParser:
         args = _build_parser().parse_args(["compare", "CNN-1", "--batch", "4"])
         assert args.workload == "CNN-1"
         assert args.batch == 4
+        assert args.tenants == 1
+
+    def test_tenants_flags(self):
+        args = _build_parser().parse_args(["run", "tenants", "--tenants", "3"])
+        assert args.tenants == 3
+        args = _build_parser().parse_args(["compare", "CNN-1", "--tenants", "2"])
+        assert args.tenants == 2
 
     def test_compare_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
@@ -53,5 +60,12 @@ class TestDispatch:
 
     def test_experiment_registry_covers_all_figures(self):
         for fig in ("fig6", "fig7", "fig8", "fig10", "fig11", "fig12a",
-                    "fig12b", "fig13", "fig14", "fig15", "fig16"):
+                    "fig12b", "fig13", "fig14", "fig15", "fig16", "tenants"):
             assert fig in EXPERIMENTS
+
+    @pytest.mark.slow
+    def test_run_tenants_experiment(self, capsys):
+        assert main(["run", "tenants", "--tenants", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Shared-MMU contention" in out
+        assert "slowdown" in out

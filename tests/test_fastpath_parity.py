@@ -193,6 +193,59 @@ class TestBurstParity:
         assert out[0] == out[1]
 
 
+class TestMultiASIDParity:
+    """ASID-tagged bursts retire bit-identically on both engine paths."""
+
+    def run_both_tagged(self, config, schedule):
+        """``schedule``: (asid, burst) pairs replayed in order."""
+        out = []
+        for batched in (True, False):
+            mmu = MMU(config, build_table())
+            other = PageTable()
+            other.map_range(BASE, N_PAGES * PAGE_SIZE_4K, first_pfn=700_000)
+            mmu.register_context(5, other)
+            memory = MainMemory()
+            engine = TranslationEngine(mmu, memory, batched=batched)
+            results = [
+                engine.run_burst(burst, float(i * 10), asid)
+                for i, (asid, burst) in enumerate(schedule)
+            ]
+            mmu.drain()
+            state = {
+                "results": results,
+                "summary": mmu.summary(),
+                "channels": tuple(memory._channel_free),
+            }
+            if mmu.pool is not None:
+                state["tlb_sets"] = [list(s.items()) for s in mmu.tlb._sets]
+                state["pts"] = (mmu.pts.lookups, mmu.pts.hits)
+            out.append(state)
+        return out
+
+    @pytest.mark.parametrize(
+        "config",
+        [baseline_iommu_config(), neummu_config(),
+         MMUConfig(name="w2", n_walkers=2, prmb_slots=4)],
+        ids=lambda c: c.name,
+    )
+    def test_interleaved_contexts_bit_identical(self, config):
+        txs_a = random_stream(21, 900)
+        txs_b = streaming_stream(900)
+        schedule = [(0, txs_a), (5, txs_b), (5, txs_a), (0, txs_b)]
+        batched_state, reference_state = self.run_both_tagged(config, schedule)
+        assert batched_state == reference_state
+
+    def test_contexts_fill_distinct_tlb_entries(self):
+        config = neummu_config()
+        txs = streaming_stream(600)
+        batched_state, _ = self.run_both_tagged(config, [(0, txs), (5, txs)])
+        pfns = {
+            pfn for s in batched_state["tlb_sets"] for _, pfn in s
+        }
+        assert any(pfn < 700_000 for pfn in pfns)
+        assert any(pfn >= 700_000 for pfn in pfns)
+
+
 class TestSimulatorParity:
     """Full-pipeline parity: identical RunResults either way."""
 

@@ -1,6 +1,8 @@
 """Tests for the sparse case study: links, sharding, recsys, demand paging."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.mmu import baseline_iommu_config, neummu_config, oracle_config
 from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
@@ -82,6 +84,57 @@ class TestSharding:
         sent = sum(sharded.alltoall_send_bytes(n, batch) for n in range(4))
         received = sum(sharded.alltoall_recv_bytes(n, batch) for n in range(4))
         assert sent == received == sharded.alltoall_total_bytes(batch)
+
+    def test_uneven_batch_and_tables_still_conserve(self):
+        """The seed's rounded send/recv formulas leaked bytes whenever
+        batch % n_npus != 0 (dlrm, 3 NPUs, batch 64: 2,796,202 sent vs
+        2,752,512 received); the shared matrix cannot."""
+        for n_npus, batch in ((3, 64), (4, 130), (5, 7), (7, 1)):
+            sharded = shard_model(dlrm(), n_npus)
+            sent = sum(sharded.alltoall_send_bytes(i, batch) for i in range(n_npus))
+            recv = sum(sharded.alltoall_recv_bytes(i, batch) for i in range(n_npus))
+            assert sent == recv == sharded.alltoall_total_bytes(batch)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_npus=st.integers(min_value=1, max_value=12),
+        batch=st.integers(min_value=1, max_value=512),
+        n_tables=st.integers(min_value=1, max_value=17),
+        dim=st.sampled_from([16, 64, 96]),
+    )
+    def test_alltoall_conservation_property(self, n_npus, batch, n_tables, dim):
+        """sum(sends) == sum(recvs) over randomized shardings, and the
+        per-(sender, receiver) matrix is consistent with both projections."""
+        from repro.workloads.embedding import (
+            EmbeddingTableSpec,
+            MLPStack,
+            RecSysModel,
+        )
+
+        model = RecSysModel(
+            name="prop",
+            tables=tuple(
+                EmbeddingTableSpec(f"t{i}", rows=1000, dim=dim)
+                for i in range(n_tables)
+            ),
+            lookups_per_table=1,
+            bottom_mlp=None,
+            top_mlp=MLPStack("top", (dim, 1)),
+            interaction="elementwise",
+        )
+        sharded = shard_model(model, n_npus)
+        matrix = sharded.alltoall_matrix(batch)
+        sends = [sharded.alltoall_send_bytes(i, batch) for i in range(n_npus)]
+        recvs = [sharded.alltoall_recv_bytes(i, batch) for i in range(n_npus)]
+        assert sum(sends) == sum(recvs) == sharded.alltoall_total_bytes(batch)
+        for npu in range(n_npus):
+            assert sends[npu] == sum(matrix[npu])
+            assert recvs[npu] == sum(row[npu] for row in matrix)
+            assert matrix[npu][npu] == 0
+        assert sum(sharded.batch_slices(batch)) == batch
+        per_npu = sharded.lookup_bytes_per_npu(batch)
+        assert len(per_npu) == n_npus
+        assert sharded.max_lookup_bytes(batch) == max(per_npu)
 
     def test_single_npu_has_no_exchange(self):
         sharded = shard_model(ncf(), 1)
@@ -201,6 +254,40 @@ class TestDemandPaging:
             dlrm(), oracle_config(PAGE_SIZE_2M), batch=8, system=FAST_DP
         )
         assert large.migrated_bytes_per_batch > small.migrated_bytes_per_batch * 10
+
+    @pytest.mark.parametrize(
+        "config_factory", [oracle_config, neummu_config, baseline_iommu_config]
+    )
+    def test_migrated_pages_never_translate_to_stale_pfns(self, config_factory):
+        """Migration shootdown regression: after a full fault/evict/refault
+        run, every cached translation — memoized walks and TLB entries —
+        agrees with the page table's *current* frame for that page."""
+        thrash = DemandPagingConfig(
+            batches=12, warm_batches=5, table_rows=200_000,
+            local_budget_bytes=1 * MB,  # force eviction + frame recycling
+        )
+        sim = DemandPagingSimulator(
+            dlrm(), config_factory(PAGE_SIZE_4K), batch=8, system=thrash
+        )
+        sim.run()
+        assert sim.evictions > 0  # the run genuinely recycled frames
+        table = sim.space.page_table
+        resolver = sim.mmu.resolver
+        checked = 0
+        for vpn, cached in list(resolver._cache.items()):
+            if cached is None:
+                continue
+            va = vpn << sim._vpn_shift
+            assert table.is_mapped(va), f"memoized walk for unmapped VPN 0x{vpn:x}"
+            assert cached.pfn == table.walk(va).pfn
+            checked += 1
+        assert checked > 0
+        if sim.mmu.tlb is not None:
+            for entry_set in sim.mmu.tlb._sets:
+                for vpn, pfn in entry_set.items():
+                    va = vpn << sim._vpn_shift
+                    assert table.is_mapped(va), f"stale TLB entry 0x{vpn:x}"
+                    assert pfn == table.walk(va).pfn
 
     def test_zipf_reuse_reduces_faults_over_time(self):
         """After warm-up, hot pages are resident: steady-state faults per
