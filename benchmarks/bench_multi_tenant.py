@@ -4,11 +4,17 @@ Each tenant owns an ASID-tagged address space but contends with the others
 for one TLB, one walker pool, the PRMB capacity and memory bandwidth.  The
 oracle rows isolate pure bandwidth contention, so the gap between the
 IOMMU/NeuMMU rows and the oracle rows is *translation* contention.
+
+``bench_qos_fairness`` additionally sweeps the QoS layer's share policies
+(full_share / static_partition / weighted) under the clock-ordered
+``weighted_quantum`` arbiter and checks the fairness invariants: Jain's
+index stays in (0, 1] and a weight-reserved tenant is never slower than
+under full sharing.
 """
 
 import os
 
-from repro.analysis import multi_tenant_contention
+from repro.analysis import fairness, multi_tenant_contention
 
 from .common import emit, run_once
 
@@ -27,3 +33,26 @@ def bench_multi_tenant(benchmark):
     # The 8-walker IOMMU's translation bottleneck amplifies contention;
     # NeuMMU's walker/PRMB headroom absorbs most of it.
     assert mean["iommu"] > mean["neummu"]
+
+
+def bench_qos_fairness(benchmark):
+    workload = "CNN-1" if os.environ.get("NEUMMU_FULL") else "RNN-2"
+    figure = run_once(benchmark, lambda: fairness(workload=workload))
+    emit(figure)
+    by_policy = {}
+    for row in figure.rows:
+        config, policy, _ = row.label.split("/")
+        cell = by_policy.setdefault((config, policy), {"slowdowns": []})
+        cell["slowdowns"].append(row.values["slowdown"])
+        cell["jain"] = row.values["jain_index"]
+    for (config, policy), cell in by_policy.items():
+        assert 0.0 < cell["jain"] <= 1.0, (config, policy, cell)
+        # Sharing never makes a tenant faster than running alone.
+        assert all(s >= 0.999 for s in cell["slowdowns"]), (config, policy)
+    for config in ("iommu", "neummu"):
+        full = by_policy[(config, "full_share")]["slowdowns"]
+        for policy in ("static_partition", "weighted"):
+            reserved = by_policy[(config, policy)]["slowdowns"]
+            # The heavy tenant's (t0, weight 2) reservation buys latency:
+            # never slower than under the full-share free-for-all.
+            assert reserved[0] <= full[0] * 1.01, (config, policy)

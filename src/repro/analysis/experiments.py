@@ -13,6 +13,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.mmu import MMUConfig, baseline_iommu_config, neummu_config, oracle_config
+from ..core.qos import SHARE_POLICIES, jain_index
 from ..energy.accounting import energy_ratio, translation_energy
 from ..energy.cacti import neummu_overhead
 from ..memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
@@ -852,6 +853,8 @@ def multi_tenant_contention(
     batch: int = 1,
     tenants: int = 2,
     arbitration: str = "round_robin",
+    qos: str = "full_share",
+    weights: Optional[Sequence[float]] = None,
     npu_config: Optional[NPUConfig] = None,
 ) -> FigureResult:
     """Extension: N tenant models contending for one shared MMU.
@@ -864,15 +867,20 @@ def multi_tenant_contention(
     shared-pool contention penalty, reported for the canonical IOMMU and
     NeuMMU design points (plus the oracle, which isolates pure
     memory-bandwidth contention from translation contention).
+
+    ``qos``/``weights`` select the QoS share policy governing the shared
+    structures (see :mod:`repro.core.qos`); the defaults reproduce the
+    historical full-sharing run bit for bit.
     """
     from ..workloads.registry import DenseWorkloadFactory
 
     factory = DenseWorkloadFactory(workload, batch)
+    qualifier = arbitration if qos == "full_share" else f"{arbitration}, {qos}"
     fig = FigureResult(
         figure_id="tenants",
         title=(
             f"Shared-MMU contention: {tenants} x {workload}/b{batch:02d} "
-            f"({arbitration})"
+            f"({qualifier})"
         ),
         columns=[
             "shared_mcycles",
@@ -891,7 +899,13 @@ def multi_tenant_contention(
     for config in (oracle_config(), baseline_iommu_config(), neummu_config()):
         isolated = NPUSimulator(factory(), config, npu_config=npu_config).run()
         shared = run_multi_tenant(
-            factory, config, tenants, npu_config=npu_config, arbitration=arbitration
+            factory,
+            config,
+            tenants,
+            npu_config=npu_config,
+            arbitration=arbitration,
+            qos=qos,
+            weights=weights,
         )
         slowdowns = []
         for tenant in shared.tenants:
@@ -911,6 +925,83 @@ def multi_tenant_contention(
             f"{config.name}: mean slowdown {sum(slowdowns) / len(slowdowns):.3f} "
             f"(makespan {shared.makespan_cycles / 1e6:.2f} Mcycles)"
         )
+    return fig
+
+
+def fairness(
+    workload: str = "CNN-1",
+    batch: int = 1,
+    tenants: int = 2,
+    weights: Optional[Sequence[float]] = None,
+    arbitration: str = "weighted_quantum",
+    npu_config: Optional[NPUConfig] = None,
+) -> FigureResult:
+    """Extension: per-tenant slowdown + Jain's index per QoS share policy.
+
+    Sweeps the QoS layer's three share policies (``full_share``,
+    ``static_partition``, ``weighted``) over the same shared-MMU
+    contention run and reports each tenant's slowdown versus its isolated
+    same-config run, plus Jain's fairness index of those slowdowns per
+    (design point, policy).  Default weights descend from the tenant
+    count (t0 heaviest), so the weighted rows show whether a reservation
+    actually buys the heavy tenant latency — the partition-vs-share
+    tradeoff Kim et al. and Picorel et al. identify for translation
+    structures.
+
+    Arbitration defaults to ``weighted_quantum``: share policies make
+    tenants progress at different rates, and its clock-ordered service
+    bounds the cross-tenant clock skew that whole-tile-step round robin
+    would let couple every tenant to one makespan through the shared
+    memory channels (see :class:`~repro.core.qos.WeightedQuantumArbiter`).
+    """
+    from ..workloads.registry import DenseWorkloadFactory
+
+    if weights is None:
+        weights = tuple(float(tenants - i) for i in range(tenants))
+    factory = DenseWorkloadFactory(workload, batch)
+    fig = FigureResult(
+        figure_id="fairness",
+        title=(
+            f"QoS fairness: {tenants} x {workload}/b{batch:02d} "
+            f"({arbitration}, weights {'/'.join(f'{w:g}' for w in weights)})"
+        ),
+        columns=["weight", "slowdown", "jain_index", "stall_mcycles"],
+        notes=[
+            "slowdown = shared-run cycles / isolated same-config cycles; "
+            "jain_index = (sum s)^2 / (n * sum s^2) over each policy's "
+            "per-tenant slowdowns (1.0 = perfectly even)",
+        ],
+    )
+    for config in (baseline_iommu_config(), neummu_config()):
+        isolated = NPUSimulator(factory(), config, npu_config=npu_config).run()
+        for qos in SHARE_POLICIES:
+            shared = run_multi_tenant(
+                factory,
+                config,
+                tenants,
+                npu_config=npu_config,
+                arbitration=arbitration,
+                qos=qos,
+                weights=weights,
+            )
+            slowdowns = [
+                tenant.total_cycles / isolated.total_cycles
+                for tenant in shared.tenants
+            ]
+            index = jain_index(slowdowns)
+            for tenant, slowdown in zip(shared.tenants, slowdowns):
+                fig.add(
+                    f"{config.name}/{qos}/t{tenant.asid}",
+                    weight=weights[tenant.asid],
+                    slowdown=slowdown,
+                    jain_index=index,
+                    stall_mcycles=tenant.usage.stall_cycles / 1e6,
+                )
+            fig.notes.append(
+                f"{config.name}/{qos}: jain {index:.3f}, "
+                f"max slowdown {max(slowdowns):.3f}, "
+                f"makespan {shared.makespan_cycles / 1e6:.2f} Mcycles"
+            )
     return fig
 
 

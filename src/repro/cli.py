@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from . import analysis
 from .analysis.figures import FigureResult
 from .core.mmu import baseline_iommu_config, neummu_config, oracle_config
+from .core.qos import ARBITRATION_POLICIES, SHARE_POLICIES
 from .npu.simulator import NPUSimulator
 from .workloads.registry import DENSE_WORKLOADS, dense_workload
 
@@ -42,6 +43,7 @@ EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
     "headline": analysis.headline_claims,
     "large_pages": analysis.large_pages_dense,
     "tenants": analysis.multi_tenant_contention,
+    "fairness": analysis.fairness,
     "spatial": analysis.spatial_npu,
     "prefetch": analysis.prefetch_ablation,
     "mltlb": analysis.multilevel_tlb_ablation,
@@ -73,6 +75,71 @@ _RUNNER_AWARE = _accepting("runner")
 
 #: Experiments that accept a ``tenants`` keyword (the shared-MMU study).
 _TENANTED = _accepting("tenants")
+
+#: Experiments that accept the QoS keywords (shared-MMU studies).
+_ARBITRATED = _accepting("arbitration")
+_QOS_AWARE = _accepting("qos")
+_WEIGHTED = _accepting("weights")
+
+
+def _validate_tenant_flags(args, errors: List[str]) -> None:
+    """Collect actionable problems with the multi-tenant/QoS flags."""
+    tenants = getattr(args, "tenants", None)
+    weights = getattr(args, "weights", None)
+    arbitration = getattr(args, "arbitration", None)
+    qos = getattr(args, "qos", None)
+    if tenants is not None and tenants <= 0:
+        errors.append(
+            f"--tenants must be a positive tenant count, got {tenants}"
+        )
+    if arbitration is not None and arbitration not in ARBITRATION_POLICIES:
+        errors.append(
+            f"unknown arbitration policy {arbitration!r}; "
+            f"choose from {', '.join(ARBITRATION_POLICIES)}"
+        )
+    if qos is not None and qos not in SHARE_POLICIES:
+        errors.append(
+            f"unknown QoS share policy {qos!r}; "
+            f"choose from {', '.join(SHARE_POLICIES)}"
+        )
+    if weights is not None:
+        bad = [w for w in weights if w <= 0]
+        if bad:
+            errors.append(
+                f"--weights must all be positive, got {bad[0]:g}"
+            )
+        expected = tenants
+        if expected is None:
+            errors.append(
+                "--weights requires --tenants so each weight maps to a tenant"
+            )
+        elif expected > 0 and len(weights) != expected:
+            errors.append(
+                f"got {len(weights)} weights for {expected} tenants; "
+                f"pass exactly one weight per tenant"
+            )
+
+
+def _add_qos_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared-MMU QoS flags, identical on ``run`` and ``compare``."""
+    parser.add_argument(
+        "--arbitration",
+        default=None,
+        help=f"shared-MMU arbitration policy ({', '.join(ARBITRATION_POLICIES)})",
+    )
+    parser.add_argument(
+        "--qos",
+        default=None,
+        help=f"tenant share policy for shared structures "
+        f"({', '.join(SHARE_POLICIES)})",
+    )
+    parser.add_argument(
+        "--weights",
+        type=float,
+        nargs="+",
+        default=None,
+        help="per-tenant share weights (one positive float per tenant)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,8 +182,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tenants",
         type=int,
         default=None,
-        help="tenant count for the multi-tenant contention experiment",
+        help="tenant count for the multi-tenant contention experiments",
     )
+    _add_qos_flags(run)
 
     compare = sub.add_parser(
         "compare", help="oracle vs IOMMU vs NeuMMU on one workload"
@@ -130,6 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run N copies of the workload on one shared MMU and "
         "report per-tenant contention statistics",
     )
+    _add_qos_flags(compare)
 
     report = sub.add_parser(
         "report", help="run the headline experiments and emit a Markdown report"
@@ -164,6 +233,9 @@ def _run_experiment(
     chart: bool = False,
     runner=None,
     tenants: Optional[int] = None,
+    arbitration: Optional[str] = None,
+    qos: Optional[str] = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> FigureResult:
     func = EXPERIMENTS[name]
     kwargs = {}
@@ -173,6 +245,12 @@ def _run_experiment(
         kwargs["runner"] = runner
     if tenants is not None and name in _TENANTED:
         kwargs["tenants"] = tenants
+    if arbitration is not None and name in _ARBITRATED:
+        kwargs["arbitration"] = arbitration
+    if qos is not None and name in _QOS_AWARE:
+        kwargs["qos"] = qos
+    if weights is not None and name in _WEIGHTED:
+        kwargs["weights"] = tuple(weights)
     started = time.time()
     result = func(**kwargs)
     elapsed = time.time() - started
@@ -215,6 +293,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         names = [args.experiment]
+    errors: List[str] = []
+    _validate_tenant_flags(args, errors)
+    if len(names) == 1:
+        # A single named experiment must not silently drop flags it does
+        # not accept ("run all" applies each flag where it fits).
+        checks = (
+            ("--tenants", args.tenants, _TENANTED),
+            ("--arbitration", args.arbitration, _ARBITRATED),
+            ("--qos", args.qos, _QOS_AWARE),
+            ("--weights", args.weights, _WEIGHTED),
+        )
+        ignored = [
+            flag for flag, value, accepting in checks
+            if value is not None and names[0] not in accepting
+        ]
+        if ignored:
+            errors.append(
+                f"{', '.join(ignored)} have no effect on experiment "
+                f"{names[0]!r}; drop them or pick an experiment that "
+                f"accepts them"
+            )
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 2
     runner = None
     if args.jobs != 1 or args.cache_dir is not None:
         from .analysis.runner import ExperimentRunner
@@ -229,11 +332,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             chart=args.chart,
             runner=runner,
             tenants=args.tenants,
+            arbitration=args.arbitration,
+            qos=args.qos,
+            weights=args.weights,
         )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    errors: List[str] = []
+    _validate_tenant_flags(args, errors)
+    if args.tenants <= 1 and any(
+        flag is not None for flag in (args.qos, args.arbitration, args.weights)
+    ):
+        errors.append(
+            "--qos/--arbitration/--weights only affect the shared-MMU run; "
+            "pass --tenants N (N > 1) to enable it"
+        )
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 2
     factory = lambda: dense_workload(args.workload, args.batch)
     oracle = NPUSimulator(factory(), oracle_config()).run()
     print(f"{args.workload} b{args.batch:02d}:")
@@ -252,10 +371,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.tenants > 1:
         from .npu.simulator import run_multi_tenant
 
-        print(f"\nshared MMU, {args.tenants} tenants (round-robin arbitration):")
+        arbitration = args.arbitration or "round_robin"
+        qos = args.qos or "full_share"
+        if arbitration == "round_robin" and qos == "full_share":
+            regime = "round-robin arbitration"
+        else:
+            regime = f"{arbitration} arbitration, {qos} QoS"
+        print(f"\nshared MMU, {args.tenants} tenants ({regime}):")
         for config in (baseline_iommu_config(), neummu_config()):
             iso_cycles = isolated[config.name].total_cycles
-            shared = run_multi_tenant(factory, config, args.tenants)
+            shared = run_multi_tenant(
+                factory,
+                config,
+                args.tenants,
+                arbitration=arbitration,
+                qos=qos,
+                weights=args.weights,
+            )
             for tenant in shared.tenants:
                 usage = tenant.usage
                 slowdown = tenant.total_cycles / iso_cycles

@@ -36,16 +36,41 @@ from .mmu_cache import (
 from .prmb import MergeBuffer, MergeBufferStats
 from .pts import PendingTranslationScoreboard
 from .ptw import WalkCompletion, WalkerPool, WalkerPoolStats
+from .qos import (
+    ARBITRATION_POLICIES,
+    SHARE_POLICIES,
+    Arbiter,
+    FullShare,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    SharePolicy,
+    StaticPartition,
+    WeightedQuantumArbiter,
+    WeightedShare,
+    jain_index,
+    make_arbiter,
+    make_share_policy,
+)
 from .stats import RunSummary, TranslationStats, delta
 from .tlb import TLB
 from .tpreg import TPreg, TPregStats
 from .walk_info import WalkInfo, WalkResolver
 
 __all__ = [
+    "ARBITRATION_POLICIES",
     "MMU",
     "MMUConfig",
     "PATH_CACHE_KINDS",
+    "SHARE_POLICIES",
+    "Arbiter",
     "BurstResult",
+    "FullShare",
+    "PriorityArbiter",
+    "RoundRobinArbiter",
+    "SharePolicy",
+    "StaticPartition",
+    "WeightedQuantumArbiter",
+    "WeightedShare",
     "FaultHandler",
     "MergeBuffer",
     "MergeBufferStats",
@@ -72,6 +97,9 @@ __all__ = [
     "WalkerPoolStats",
     "baseline_iommu_config",
     "delta",
+    "jain_index",
+    "make_arbiter",
+    "make_share_policy",
     "neummu_config",
     "oracle_config",
 ]

@@ -117,14 +117,23 @@ class TranslationEngine:
         prefetcher hooks fire per TLB hit, and the two-level TLB's hit
         latency depends on which level hits — all three fall back to the
         reference path, as does an oracular MMU with a demand-paging
-        handler (whose faults route through :meth:`MMU.translate`).
+        handler (whose faults route through :meth:`MMU.translate`).  A
+        non-trivial QoS share policy also forces the reference path: quota
+        enforcement lives in :meth:`MMU.translate` / :meth:`TLB.insert`,
+        and the fast path's bulk PRMB/TLB updates would bypass it.  (An
+        oracle has no shared translation structures, so it keeps its fast
+        path under any policy.)
         """
         if self.timeline_window:
             return False
         mmu = self.mmu
         if mmu.config.oracle:
             return self.fault_handler is None
-        return mmu.prefetcher is None and not mmu._two_level
+        return (
+            mmu.prefetcher is None
+            and not mmu._two_level
+            and mmu.share_policy.trivial
+        )
 
     def run_burst(
         self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0

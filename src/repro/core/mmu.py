@@ -35,6 +35,7 @@ from .mmu_cache import (
 )
 from .pts import PendingTranslationScoreboard
 from .ptw import WalkerPool
+from .qos import SHARE_POLICIES, SharePolicy, make_share_policy
 from .stats import RunSummary, TranslationStats
 from .walk_info import WalkResolver
 
@@ -68,11 +69,20 @@ class MMUConfig:
     #: speculative walks per demand miss (extension study; see
     #: :mod:`repro.core.prefetch`).
     prefetch_depth: int = 0
+    #: Tenant share policy for the shared translation structures — one of
+    #: :data:`~repro.core.qos.SHARE_POLICIES`.  ``full_share`` (the
+    #: default) is bit-identical to the pre-QoS engine.
+    qos: str = "full_share"
 
     def __post_init__(self) -> None:
         if self.path_cache not in PATH_CACHE_KINDS:
             raise ValueError(
                 f"path_cache must be one of {PATH_CACHE_KINDS}, got {self.path_cache!r}"
+            )
+        if self.qos not in SHARE_POLICIES:
+            raise ValueError(
+                f"unknown QoS share policy {self.qos!r}; "
+                f"choose from {', '.join(SHARE_POLICIES)}"
             )
         if not self.oracle:
             if self.tlb_entries <= 0:
@@ -157,11 +167,22 @@ class MMU:
     and context teardown use.
     """
 
-    def __init__(self, config: MMUConfig, page_table: Optional[PageTable]):
+    def __init__(
+        self,
+        config: MMUConfig,
+        page_table: Optional[PageTable],
+        share_policy: Optional[SharePolicy] = None,
+    ):
         from .prefetch import NextPagePrefetcher
         from .tlb import TLB, TwoLevelTLB  # deferred to avoid doc-build cycles
 
         self.config = config
+        #: The QoS layer's tenant share policy; every shared structure
+        #: below consults it.  Defaults to the policy named by
+        #: ``config.qos`` (``full_share`` unless overridden).
+        self.share_policy = (
+            share_policy if share_policy is not None else make_share_policy(config.qos)
+        )
         self._resolvers: Dict[int, WalkResolver] = {}
         self.resolver: Optional[WalkResolver] = None
         if page_table is not None:
@@ -191,9 +212,10 @@ class MMU:
                 l2_entries=config.tlb_entries,
                 l1_latency=config.l1_tlb_latency,
                 l2_latency=config.tlb_hit_latency,
+                policy=self.share_policy,
             )
         else:
-            self.tlb = TLB(config.tlb_entries)
+            self.tlb = TLB(config.tlb_entries, policy=self.share_policy)
         self.prefetcher = (
             NextPagePrefetcher(config.prefetch_depth)
             if config.prefetch_depth > 0
@@ -213,6 +235,7 @@ class MMU:
             prmb_slots=config.prmb_slots,
             use_tpreg=use_tpreg,
             shared_path_cache=shared_cache,
+            policy=self.share_policy,
         )
         self.pts = PendingTranslationScoreboard(config.n_walkers)
 
@@ -221,13 +244,19 @@ class MMU:
     # ------------------------------------------------------------------ #
 
     def register_context(
-        self, asid: int, page_table: PageTable, page_size: Optional[int] = None
+        self,
+        asid: int,
+        page_table: PageTable,
+        page_size: Optional[int] = None,
+        weight: float = 1.0,
     ) -> WalkResolver:
         """Attach an address space: ``asid`` translates via ``page_table``.
 
         Returns the context's resolver.  ASID 0 is the single-tenant
         default the constructor registers automatically (when given a page
-        table) and is also exposed as :attr:`resolver`.
+        table) and is also exposed as :attr:`resolver`.  ``weight`` is the
+        context's share weight under the MMU's QoS policy (ignored by
+        ``full_share``).
         """
         if not 0 <= asid <= MAX_ASID:
             raise ValueError(f"ASID {asid} outside [0, {MAX_ASID}]")
@@ -237,6 +266,7 @@ class MMU:
             page_table, page_size or self.config.page_size, asid=asid
         )
         self._resolvers[asid] = resolver
+        self.share_policy.register(asid, weight)
         if asid == 0:
             self.resolver = resolver
         return resolver
@@ -309,6 +339,7 @@ class MMU:
         if self.prefetcher is not None:
             self.prefetcher.drop_asid(asid)
         del self._resolvers[asid]
+        self.share_policy.unregister(asid)
         if asid == 0:
             self.resolver = None
 
@@ -373,14 +404,14 @@ class MMU:
         if redundant and self.prefetcher is not None:
             # The page's walk is already in flight — possibly ours.
             self.prefetcher.on_demand_hit(vpn, asid)
-        if walkers is not None and self._prmb_slots:
+        if walkers is not None and self._prmb_slots and self.pool.can_merge(asid):
             for walker in walkers:
                 ready = self.pool.merge_into(walker)
                 if ready >= 0:
                     stats.merges += 1
                     return (ready, 0.0)
 
-        if self.pool.free_walkers:
+        if self.pool.can_start(asid):
             walk = resolver.resolve_vpn(vpn)
             if walk is None:
                 stats.requests -= 1  # the retried request will recount
@@ -393,11 +424,12 @@ class MMU:
                 self.prefetcher.on_demand_walk(self, vpn, cycle, asid)
             return (completion, 0.0)
 
-        # Fully blocked: no merge capacity and no walker.  Retry when the
-        # earliest in-flight walk completes.  The retried request will be
+        # Fully blocked: no merge capacity and no walker (or the context's
+        # QoS quotas are exhausted).  Retry when the earliest walk that can
+        # unblock *this* context completes.  The retried request will be
         # recounted, so back out this attempt from the request tally.
         stats.requests -= 1
-        retry = self.pool.earliest_completion()
+        retry = self.pool.earliest_retry_for(asid)
         stats.stall_events += 1
         stats.stall_cycles += max(0.0, retry - cycle)
         return (None, retry)
@@ -536,23 +568,46 @@ class SharedMMU:
     single-tenant runs can then be compared against.
     """
 
-    def __init__(self, config: MMUConfig, memory=None, issue_interval: float = 1.0):
+    def __init__(
+        self,
+        config: MMUConfig,
+        memory=None,
+        issue_interval: float = 1.0,
+        share_policy: Optional[SharePolicy] = None,
+    ):
         from ..memory.dram import MainMemory, MemoryConfig
         from .engine import TranslationEngine  # deferred: engine imports mmu
 
         self.config = config
-        self.mmu = MMU(config, page_table=None)
+        self.mmu = MMU(config, page_table=None, share_policy=share_policy)
         self.memory = memory if memory is not None else MainMemory(MemoryConfig())
         self.engine = TranslationEngine(
             self.mmu, self.memory, issue_interval=issue_interval
         )
         self.usage: Dict[int, TenantUsage] = {}
 
-    def add_tenant(self, asid: int, page_table: PageTable) -> TenantUsage:
-        """Register a tenant context; returns its usage accumulator."""
-        self.mmu.register_context(asid, page_table)
+    @property
+    def share_policy(self) -> SharePolicy:
+        """The QoS share policy every shared structure consults."""
+        return self.mmu.share_policy
+
+    def add_tenant(
+        self, asid: int, page_table: PageTable, weight: float = 1.0
+    ) -> TenantUsage:
+        """Register a tenant context; returns its usage accumulator.
+
+        ``weight`` is the tenant's share weight under the MMU's QoS policy
+        (ignored by ``full_share``).
+        """
+        self.mmu.register_context(asid, page_table, weight=weight)
         self.usage[asid] = TenantUsage(asid=asid)
         return self.usage[asid]
+
+    def set_tenant_weight(self, asid: int, weight: float) -> None:
+        """Re-weight a registered tenant's QoS share."""
+        if asid not in self.mmu._resolvers:
+            raise KeyError(f"no tenant registered for ASID {asid}")
+        self.mmu.share_policy.set_weight(asid, weight)
 
     def remove_tenant(self, asid: int) -> TenantUsage:
         """Tear down one tenant's context without disturbing the others.
@@ -568,8 +623,12 @@ class SharedMMU:
 
     @property
     def tenants(self) -> List[int]:
-        """Registered tenant ASIDs, in registration order."""
-        return list(self.usage)
+        """*Currently registered* tenant ASIDs, in registration order.
+
+        Removed tenants drop out of this list (their usage records remain
+        readable in :attr:`usage`).
+        """
+        return [asid for asid in self.usage if asid in self.mmu._resolvers]
 
     def run_bursts(self, asid: int, bursts, start_cycle: float):
         """Run one tenant's back-to-back bursts through the shared engine.

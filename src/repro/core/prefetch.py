@@ -72,7 +72,14 @@ class NextPagePrefetcher:
         resolver = mmu.resolver_for(asid)
         for offset in range(1, self.depth + 1):
             target = vpn + offset
-            if mmu.pool.free_walkers <= self.reserve:
+            # Speculative walks are the issuing context's traffic: they
+            # respect both the demand reserve and the context's QoS
+            # walker quota (a prefetch must never breach another
+            # tenant's reservation).
+            if (
+                mmu.pool.free_walkers <= self.reserve
+                or not mmu.pool.can_start(asid)
+            ):
                 self.stats.dropped_no_walker += 1
                 return
             if (

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .mmu_cache import NullPathCache, PathCache
 from .prmb import MergeBuffer, MergeBufferStats
+from .qos import SharePolicy
 from .tpreg import TPreg, TPregStats
 from .walk_info import WalkInfo
 
@@ -50,7 +51,16 @@ class WalkerPoolStats:
 
 
 class WalkerPool:
-    """A pool of page-table walkers with merging and path-skip support."""
+    """A pool of page-table walkers with merging and path-skip support.
+
+    A non-trivial :class:`~repro.core.qos.SharePolicy` partitions the pool
+    between address spaces: :meth:`can_start` caps each ASID's concurrent
+    walks at its walker quota (hard under ``static_partition``;
+    work-conserving borrowing under ``weighted``), and :meth:`can_merge`
+    caps each ASID's parked PRMB requests at its merge-slot quota.  With
+    the default ``full_share`` policy every check collapses to the
+    historical free-list test and the pool is bit-identical to PR 2's.
+    """
 
     def __init__(
         self,
@@ -59,6 +69,7 @@ class WalkerPool:
         prmb_slots: int = 0,
         use_tpreg: bool = False,
         shared_path_cache: Optional[PathCache] = None,
+        policy: Optional[SharePolicy] = None,
     ):
         if n_walkers <= 0:
             raise ValueError(f"need at least one walker, got {n_walkers}")
@@ -77,6 +88,12 @@ class WalkerPool:
         )
         self._shared_cache: PathCache = shared_path_cache or NullPathCache()
 
+        #: Non-trivial share policy (None = full sharing, zero overhead).
+        self._policy = policy if policy is not None and not policy.trivial else None
+        #: Busy walker ids per ASID, maintained only under a policy: an
+        #: ASID's PRMB occupancy is the sum of its busy walkers' buffers
+        #: (the PTS never merges across address spaces).
+        self._busy_by_asid: Dict[int, Set[int]] = {}
         self._free: List[int] = list(range(n_walkers - 1, -1, -1))
         self._vpn: List[Optional[int]] = [None] * n_walkers
         self._completion_of: List[float] = [0.0] * n_walkers
@@ -100,6 +117,85 @@ class WalkerPool:
     def busy_walkers(self) -> int:
         """Walkers with a walk in flight."""
         return self.n_walkers - len(self._free)
+
+    def busy_walkers_of(self, asid: int) -> int:
+        """Walks in flight for one address space (policy mode only)."""
+        busy = self._busy_by_asid.get(asid)
+        return len(busy) if busy else 0
+
+    def prmb_occupancy_of(self, asid: int) -> int:
+        """Merged requests parked in one address space's walkers' PRMBs."""
+        busy = self._busy_by_asid.get(asid)
+        if not busy:
+            return 0
+        buffers = self._buffers
+        return sum(buffers[walker].occupied for walker in busy)
+
+    def can_start(self, asid: int = 0) -> bool:
+        """Whether ``asid`` may dispatch a walk right now.
+
+        Full sharing: any free walker will do.  Under a share policy the
+        ASID must be below its walker quota — or, for a work-conserving
+        policy, enough walkers must be free to cover every *other*
+        tenant's unmet reservation with one left over to borrow.
+        """
+        free = len(self._free)
+        if not free:
+            return False
+        policy = self._policy
+        if policy is None:
+            return True
+        quota = policy.walker_quota(asid, self.n_walkers)
+        if quota is None or self.busy_walkers_of(asid) < quota:
+            return True
+        if not policy.work_conserving:
+            return False
+        reserved_unmet = 0
+        for other in policy.tenants:
+            if other == asid:
+                continue
+            other_quota = policy.walker_quota(other, self.n_walkers)
+            if other_quota is not None:
+                shortfall = other_quota - self.busy_walkers_of(other)
+                if shortfall > 0:
+                    reserved_unmet += shortfall
+        return free > reserved_unmet
+
+    def can_merge(self, asid: int = 0) -> bool:
+        """Whether ``asid`` may park another request in a PRMB.
+
+        Under a share policy, the ASID's total parked requests (across all
+        of its walkers' buffers) are capped at its merge-slot quota.
+        """
+        policy = self._policy
+        if policy is None or not self.prmb_slots:
+            return True
+        quota = policy.prmb_quota(asid, self.n_walkers * self.prmb_slots)
+        return quota is None or self.prmb_occupancy_of(asid) < quota
+
+    def earliest_retry_for(self, asid: int = 0) -> float:
+        """Cycle at which a blocked ``asid`` should retry translation.
+
+        Full sharing: the next walk completion (any walker freeing up
+        unblocks everyone).  Under a *hard* partition, a tenant blocked by
+        its quota (free walkers exist but its reservation is exhausted)
+        only unblocks when one of its own walks completes.  Under a
+        work-conserving policy any completion can reopen borrowing
+        headroom (e.g. an over-quota tenant's walk retiring), so the
+        blocked tenant retries at the pool-wide earliest completion.
+        """
+        policy = self._policy
+        if policy is None or policy.work_conserving:
+            return self.earliest_completion()
+        busy = self._busy_by_asid.get(asid)
+        quota = policy.walker_quota(asid, self.n_walkers)
+        if busy and quota is not None and len(busy) >= quota:
+            # At quota: another tenant's completion frees a walker this
+            # tenant still may not use, so only its own walks matter —
+            # even when the pool is also fully busy.
+            completion_of = self._completion_of
+            return min(completion_of[walker] for walker in busy)
+        return self.earliest_completion()
 
     def merge_into(self, walker: int) -> float:
         """Try to merge a request into ``walker``'s PRMB.
@@ -143,6 +239,8 @@ class WalkerPool:
         self._vpn[walker] = walk.vpn
         self._walk_of[walker] = walk
         self._completion_of[walker] = completion
+        if self._policy is not None:
+            self._busy_by_asid.setdefault(walk.asid, set()).add(walker)
         self._seq += 1
         heapq.heappush(self.heap, (completion, self._seq, walker))
         return walker, completion
@@ -172,6 +270,10 @@ class WalkerPool:
             merged = self._buffers[walker].drain()
             self._vpn[walker] = None
             self._walk_of[walker] = None
+            if self._policy is not None:
+                busy = self._busy_by_asid.get(walk.asid)
+                if busy is not None:
+                    busy.discard(walker)
             self._free.append(walker)
             yield WalkCompletion(
                 cycle=completion, walker=walker, walk=walk, merged_requests=merged

@@ -16,6 +16,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from ..memory.address import ASID_SHIFT
+from .qos import SharePolicy
 
 
 class TLB:
@@ -33,9 +34,23 @@ class TLB:
     while distinct contexts can never alias each other's translations.
     Context teardown and page migration use :meth:`invalidate_asid` /
     :meth:`invalidate` as the shootdown primitives.
+
+    A non-trivial :class:`~repro.core.qos.SharePolicy` adds per-ASID
+    occupancy caps with policy-respecting victim selection (the
+    way-partitioning of the QoS layer): a tenant at its quota evicts its
+    *own* LRU entry instead of another tenant's, a tenant inserting into a
+    full structure reclaims from over-quota tenants first, and
+    work-conserving policies let a capped tenant keep growing while free
+    capacity remains.  With the default ``full_share`` policy every code
+    path below is exactly the historical TLB.
     """
 
-    def __init__(self, entries: int = 2048, associativity: Optional[int] = None):
+    def __init__(
+        self,
+        entries: int = 2048,
+        associativity: Optional[int] = None,
+        policy: Optional[SharePolicy] = None,
+    ):
         if entries <= 0:
             raise ValueError(f"TLB needs a positive entry count, got {entries}")
         if associativity is not None:
@@ -45,6 +60,10 @@ class TLB:
                 )
         self.entries = entries
         self.associativity = associativity
+        #: Non-trivial share policy (None = full sharing, zero overhead).
+        self._policy = policy if policy is not None and not policy.trivial else None
+        #: Per-ASID valid-entry counts, maintained only under a policy.
+        self._asid_occupancy: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         if associativity is None:
@@ -91,9 +110,16 @@ class TLB:
         self.hits += count
 
     def insert(self, vpn: int, pfn: int, asid: int = 0) -> None:
-        """Fill an entry (typically on page-table-walk completion)."""
+        """Fill an entry (typically on page-table-walk completion).
+
+        Under a non-trivial share policy, victim selection respects the
+        per-ASID occupancy quotas (see :meth:`_insert_policied`).
+        """
         key = vpn | (asid << ASID_SHIFT)
         entry_set = self._sets[key & self._set_mask]
+        if self._policy is not None:
+            self._insert_policied(key, pfn, asid, entry_set)
+            return
         if key in entry_set:
             entry_set.move_to_end(key)
             entry_set[key] = pfn
@@ -102,12 +128,105 @@ class TLB:
             entry_set.popitem(last=False)
         entry_set[key] = pfn
 
+    def _insert_policied(
+        self, key: int, pfn: int, asid: int, entry_set: OrderedDict
+    ) -> None:
+        """Quota-aware fill: the QoS layer's TLB partitioning.
+
+        * A tenant at/over its quota self-victimizes (evicts its own LRU
+          entry in the target set) unless the policy is work-conserving
+          and genuinely free capacity remains to borrow.
+        * A tenant under its quota inserting into a full set reclaims an
+          over-quota tenant's LRU entry first, falling back to plain set
+          LRU only when every resident tenant is within quota.
+        """
+        occupancy = self._asid_occupancy
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            entry_set[key] = pfn
+            return
+        policy = self._policy
+        quota = policy.tlb_quota(asid, self.entries)
+        count = occupancy.get(asid, 0)
+        victim = None
+        if quota is not None and count >= quota:
+            borrow = (
+                policy.work_conserving
+                and len(entry_set) < self._ways
+                and sum(occupancy.values()) < self.entries
+            )
+            if not borrow:
+                victim = self._victim(entry_set, owner=asid)
+                if victim is None:
+                    # Set-associative corner: the at-quota tenant holds no
+                    # entry in the target set, so self-victimization is
+                    # impossible.  Drop the fill — growing into the set
+                    # would breach this tenant's cap, and evicting another
+                    # tenant's way would steal its reservation.
+                    return
+        if victim is None and len(entry_set) >= self._ways:
+            victim = self._victim(entry_set, over_quota_first=True)
+        if victim is not None:
+            del entry_set[victim]
+            v_asid = victim >> ASID_SHIFT
+            occupancy[v_asid] = occupancy.get(v_asid, 1) - 1
+        entry_set[key] = pfn
+        occupancy[asid] = occupancy.get(asid, 0) + 1
+
+    def _victim(
+        self,
+        entry_set: OrderedDict,
+        owner: Optional[int] = None,
+        over_quota_first: bool = False,
+    ) -> Optional[int]:
+        """Pick an eviction victim key from ``entry_set`` in LRU order.
+
+        ``owner`` restricts the search to one tenant's entries (self
+        victimization) and yields None when that tenant holds nothing in
+        this set; ``over_quota_first`` prefers the LRU entry of any tenant
+        exceeding its quota, falling back to the set's global LRU.
+        """
+        if over_quota_first and owner is None and not self._any_over_quota():
+            # Nobody to reclaim from: the set LRU is the victim.  The
+            # O(#tenants) occupancy pre-check keeps miss-heavy policied
+            # fills from scanning the whole (possibly fully-associative)
+            # set on every insert.
+            return next(iter(entry_set), None)
+        first = None
+        for key in entry_set:
+            if first is None:
+                first = key
+            key_asid = key >> ASID_SHIFT
+            if owner is not None:
+                if key_asid == owner:
+                    return key
+                continue
+            if over_quota_first:
+                quota = self._policy.tlb_quota(key_asid, self.entries)
+                if (
+                    quota is not None
+                    and self._asid_occupancy.get(key_asid, 0) > quota
+                ):
+                    return key
+        return None if owner is not None else first
+
+    def _any_over_quota(self) -> bool:
+        """Whether any tenant currently exceeds its TLB quota."""
+        policy = self._policy
+        for asid, count in self._asid_occupancy.items():
+            quota = policy.tlb_quota(asid, self.entries)
+            if quota is not None and count > quota:
+                return True
+        return False
+
     def invalidate(self, vpn: int, asid: int = 0) -> bool:
         """Drop one translation (e.g. after page migration); True if present."""
         key = vpn | (asid << ASID_SHIFT)
         entry_set = self._sets[key & self._set_mask]
         if key in entry_set:
             del entry_set[key]
+            if self._policy is not None:
+                self._asid_occupancy[asid] = self._asid_occupancy.get(asid, 1) - 1
             return True
         return False
 
@@ -125,12 +244,15 @@ class TLB:
             for key in victims:
                 del entry_set[key]
             dropped += len(victims)
+        if self._policy is not None:
+            self._asid_occupancy.pop(asid, None)
         return dropped
 
     def flush(self) -> None:
         """Invalidate everything (keeps hit/miss statistics)."""
         for entry_set in self._sets:
             entry_set.clear()
+        self._asid_occupancy.clear()
 
     def reset_stats(self) -> None:
         """Zero hit/miss counters."""
@@ -141,6 +263,20 @@ class TLB:
     def occupancy(self) -> int:
         """Number of valid entries currently cached."""
         return sum(len(s) for s in self._sets)
+
+    def occupancy_of(self, asid: int) -> int:
+        """Valid entries held by one address space.
+
+        O(1) under a share policy (the policied insert path maintains
+        per-ASID counts); computed by scanning otherwise.
+        """
+        if self._policy is not None:
+            return self._asid_occupancy.get(asid, 0)
+        lo = asid << ASID_SHIFT
+        hi = (asid + 1) << ASID_SHIFT
+        return sum(
+            1 for entry_set in self._sets for key in entry_set if lo <= key < hi
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -173,11 +309,12 @@ class TwoLevelTLB:
         l2_entries: int = 2048,
         l1_latency: int = 1,
         l2_latency: int = 5,
+        policy: Optional[SharePolicy] = None,
     ):
         if l1_latency < 0 or l2_latency < 0:
             raise ValueError("TLB latencies cannot be negative")
-        self.l1 = TLB(l1_entries)
-        self.l2 = TLB(l2_entries)
+        self.l1 = TLB(l1_entries, policy=policy)
+        self.l2 = TLB(l2_entries, policy=policy)
         self.l1_latency = l1_latency
         self.l2_latency = l2_latency
 

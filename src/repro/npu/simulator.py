@@ -34,6 +34,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import TranslationEngine
 from ..core.mmu import MMU, MMUConfig, SharedMMU, TenantUsage, oracle_config
+from ..core.qos import (
+    ARBITRATION_POLICIES,
+    SHARE_POLICIES,
+    Arbiter,
+    make_arbiter,
+    make_share_policy,
+)
 from ..core.stats import RunSummary
 from ..memory.allocator import AddressSpace
 from ..memory.dram import MainMemory
@@ -261,8 +268,8 @@ class NPUSimulator:
 # multi-tenant execution                                                #
 # --------------------------------------------------------------------- #
 
-#: Supported shared-MMU arbitration policies.
-ARBITRATION_POLICIES = ("round_robin", "priority")
+# ARBITRATION_POLICIES now lives in repro.core.qos (imported above) and is
+# re-exported here for backwards compatibility.
 
 
 @dataclass
@@ -287,6 +294,10 @@ class MultiTenantResult:
     makespan_cycles: float
     #: Combined translation activity of the shared MMU.
     mmu_summary: RunSummary
+    #: QoS share policy the shared structures ran under.
+    qos: str = "full_share"
+    #: Per-tenant share weights, aligned with :attr:`tenants`.
+    weights: Tuple[float, ...] = ()
 
     def tenant(self, asid: int) -> TenantResult:
         """Look up one tenant's result by ASID."""
@@ -357,11 +368,30 @@ class _TenantRun:
         while not self.done and not self.sim._schedules[self.layer_idx].steps:
             self._close_layer()
 
-    def advance(self) -> None:
-        """Execute one tile step (fetch + compute bookkeeping)."""
+    @property
+    def clock(self) -> float:
+        """Cycle at which this run's next step touches shared state.
+
+        Tenants simulate on private clocks against shared walker and
+        memory-channel occupancy, so clock-ordered arbiters service the
+        laggard first to bound cross-tenant clock skew (see
+        :class:`~repro.core.qos.WeightedQuantumArbiter`).
+        """
+        return max(self.mem_free, self.prev_prev_comp_end)
+
+    def advance(self) -> int:
+        """Execute one tile step (fetch + compute bookkeeping).
+
+        Returns the number of translation requests the step issued on the
+        underlying MMU — the *cost* quantum-based arbiters debit (0 for
+        compute-only or FAST-fidelity cached steps).  Only this run's
+        pipeline advances during the call, so the MMU counter delta is
+        attributable to this tenant even on a shared translation stack.
+        """
         if self.done:
             raise RuntimeError("tenant already finished")
         sim = self.sim
+        requests_before = sim.mmu.stats.requests
         step = sim._schedules[self.layer_idx].steps[self.step_idx]
 
         mem_start = max(self.mem_free, self.prev_prev_comp_end)
@@ -392,6 +422,7 @@ class _TenantRun:
         if self.step_idx >= len(sim._schedules[self.layer_idx].steps):
             self._close_layer()
             self._skip_empty_layers()
+        return sim.mmu.stats.requests - requests_before
 
 
 class MultiTenantSimulator:
@@ -400,15 +431,24 @@ class MultiTenantSimulator:
     Each tenant owns a private address space (registered under its ASID on
     the shared :class:`~repro.core.mmu.SharedMMU`) and a private tile
     pipeline; the TLB, PTS/walker pool, PRMB capacity, path caches and
-    memory bandwidth are shared.  Arbitration decides whose tile step the
-    shared DMA front-end services next:
+    memory bandwidth are shared, governed by the pluggable QoS layer
+    (:mod:`repro.core.qos`):
 
-    * ``round_robin`` — tenants take strict turns, one tile step each;
-      bursts from different tenants overlap in time, so walkers and memory
-      channels see genuinely mixed traffic (the contention regime).
-    * ``priority`` — lower ASIDs run to completion first (a strict
-      time-multiplexed grant); later tenants inherit a polluted TLB/path
-      state but never overlap with earlier ones.
+    * ``qos`` selects the tenant share policy each shared structure
+      consults — ``full_share`` (free-for-all, the default),
+      ``static_partition`` (weight-proportional hard quotas) or
+      ``weighted`` (work-conserving weight-proportional quotas).
+    * ``arbitration`` selects the :class:`~repro.core.qos.Arbiter` that
+      decides whose tile step the shared DMA front-end services next:
+      ``round_robin`` (strict turns, one whole tile step each — the
+      contention regime), ``priority`` (lower ASIDs run to completion
+      first) or ``weighted_quantum`` (deficit round robin over
+      weight-proportional translation-slot quanta).
+    * ``weights`` (one positive float per tenant, default all-equal)
+      feeds both the share policy's quotas and the quantum arbiter.
+
+    The defaults (``full_share`` + ``round_robin``) are bit-identical to
+    the pre-QoS engine.
     """
 
     def __init__(
@@ -421,18 +461,43 @@ class MultiTenantSimulator:
         fidelity: Fidelity = Fidelity.FAST,
         warmup: int = 4,
         memory_bytes: int = 64 * 1024**3,
+        qos: Optional[str] = None,
+        weights: Optional[Sequence[float]] = None,
+        quantum: int = 2048,
     ):
         if not workloads:
             raise ValueError("need at least one tenant workload")
         if arbitration not in ARBITRATION_POLICIES:
             raise ValueError(
-                f"arbitration must be one of {ARBITRATION_POLICIES}, "
-                f"got {arbitration!r}"
+                f"unknown arbitration policy {arbitration!r}; "
+                f"choose from {', '.join(ARBITRATION_POLICIES)}"
             )
+        if weights is not None:
+            if len(weights) != len(workloads):
+                raise ValueError(
+                    f"got {len(weights)} weights for {len(workloads)} tenants; "
+                    f"pass exactly one positive weight per tenant"
+                )
+            bad = [w for w in weights if w <= 0]
+            if bad:
+                raise ValueError(
+                    f"tenant weights must all be positive, got {bad[0]}"
+                )
         self.mmu_config = mmu_config
         self.npu_config = npu_config or NPUConfig()
         self.arbitration = arbitration
-        self.shared = SharedMMU(mmu_config, MainMemory(self.npu_config.memory))
+        self.qos = qos if qos is not None else mmu_config.qos
+        self.weights = tuple(weights) if weights is not None else tuple(
+            1.0 for _ in workloads
+        )
+        self.arbiter: Arbiter = make_arbiter(
+            arbitration, weights=self.weights, quantum=quantum
+        )
+        self.shared = SharedMMU(
+            mmu_config,
+            MainMemory(self.npu_config.memory),
+            share_policy=make_share_policy(self.qos),
+        )
         self.tenants = [
             NPUSimulator(
                 workload,
@@ -447,21 +512,13 @@ class MultiTenantSimulator:
             )
             for asid, workload in enumerate(workloads)
         ]
+        for asid, weight in enumerate(self.weights):
+            self.shared.set_tenant_weight(asid, weight)
 
     def run(self) -> MultiTenantResult:
         """Execute all tenants to completion under the arbitration policy."""
         runs = [_TenantRun(tenant) for tenant in self.tenants]
-        if self.arbitration == "priority":
-            for run in runs:
-                while not run.done:
-                    run.advance()
-        else:
-            pending = [run for run in runs if not run.done]
-            while pending:
-                for run in list(pending):
-                    run.advance()
-                    if run.done:
-                        pending.remove(run)
+        self.arbiter.run(runs)
         self.shared.mmu.drain()
         tenants = [
             TenantResult(
@@ -479,6 +536,8 @@ class MultiTenantSimulator:
             tenants=tenants,
             makespan_cycles=max(t.total_cycles for t in tenants),
             mmu_summary=self.shared.mmu.summary(),
+            qos=self.qos,
+            weights=self.weights,
         )
 
 

@@ -27,6 +27,19 @@ class TestParser:
         args = _build_parser().parse_args(["compare", "CNN-1", "--tenants", "2"])
         assert args.tenants == 2
 
+    def test_qos_flags(self):
+        args = _build_parser().parse_args(
+            ["run", "fairness", "--tenants", "2", "--qos", "weighted",
+             "--arbitration", "weighted_quantum", "--weights", "3", "1"]
+        )
+        assert args.qos == "weighted"
+        assert args.arbitration == "weighted_quantum"
+        assert args.weights == [3.0, 1.0]
+        args = _build_parser().parse_args(
+            ["compare", "CNN-1", "--tenants", "2", "--qos", "static_partition"]
+        )
+        assert args.qos == "static_partition"
+
     def test_compare_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["compare", "CNN-9"])
@@ -62,6 +75,58 @@ class TestDispatch:
         for fig in ("fig6", "fig7", "fig8", "fig10", "fig11", "fig12a",
                     "fig12b", "fig13", "fig14", "fig15", "fig16", "tenants"):
             assert fig in EXPERIMENTS
+
+    def test_unknown_arbitration_policy_errors(self, capsys):
+        assert main(["run", "tenants", "--arbitration", "lottery"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown arbitration policy 'lottery'" in err
+        assert "round_robin" in err  # the message names the valid choices
+
+    def test_unknown_qos_policy_errors(self, capsys):
+        assert main(["run", "tenants", "--qos", "coin_flip"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown QoS share policy 'coin_flip'" in err
+        assert "static_partition" in err
+
+    def test_non_positive_tenants_errors(self, capsys):
+        assert main(["run", "tenants", "--tenants", "0"]) == 2
+        assert "positive tenant count" in capsys.readouterr().err
+
+    def test_weights_length_mismatch_errors(self, capsys):
+        assert main(
+            ["run", "tenants", "--tenants", "3", "--weights", "2", "1"]
+        ) == 2
+        assert "got 2 weights for 3 tenants" in capsys.readouterr().err
+
+    def test_weights_without_tenants_errors(self, capsys):
+        assert main(["run", "tenants", "--weights", "2", "1"]) == 2
+        assert "--weights requires --tenants" in capsys.readouterr().err
+
+    def test_non_positive_weights_error(self, capsys):
+        assert main(
+            ["compare", "CNN-1", "--tenants", "2", "--weights", "1", "-0.5"]
+        ) == 2
+        assert "must all be positive" in capsys.readouterr().err
+
+    def test_run_rejects_flags_the_experiment_ignores(self, capsys):
+        """A single named experiment must not silently drop QoS flags."""
+        # fairness sweeps all share policies internally: --qos is a no-op.
+        assert main(["run", "fairness", "--qos", "static_partition"]) == 2
+        err = capsys.readouterr().err
+        assert "--qos" in err and "'fairness'" in err
+        assert main(["run", "fig8", "--tenants", "2"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_compare_qos_flags_without_tenants_error(self, capsys):
+        """QoS flags must not be silently ignored on single-tenant runs."""
+        assert main(["compare", "CNN-1", "--qos", "static_partition"]) == 2
+        assert "pass --tenants" in capsys.readouterr().err
+
+    def test_compare_weights_length_checked_against_tenants(self, capsys):
+        assert main(
+            ["compare", "CNN-1", "--tenants", "2", "--weights", "1", "2", "3"]
+        ) == 2
+        assert "got 3 weights for 2 tenants" in capsys.readouterr().err
 
     @pytest.mark.slow
     def test_run_tenants_experiment(self, capsys):
