@@ -120,6 +120,16 @@ def _validate_tenant_flags(args, errors: List[str]) -> None:
             )
 
 
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    """``--profile``: wrap the command in cProfile (perf-PR evidence)."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hot spots "
+        "after the command finishes",
+    )
+
+
 def _add_qos_flags(parser: argparse.ArgumentParser) -> None:
     """The shared-MMU QoS flags, identical on ``run`` and ``compare``."""
     parser.add_argument(
@@ -185,6 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="tenant count for the multi-tenant contention experiments",
     )
     _add_qos_flags(run)
+    _add_profile_flag(run)
 
     compare = sub.add_parser(
         "compare", help="oracle vs IOMMU vs NeuMMU on one workload"
@@ -199,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "report per-tenant contention statistics",
     )
     _add_qos_flags(compare)
+    _add_profile_flag(compare)
 
     report = sub.add_parser(
         "report", help="run the headline experiments and emit a Markdown report"
@@ -223,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the on-disk simulation-result cache",
     )
+    _add_profile_flag(report)
     return parser
 
 
@@ -427,18 +440,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profiled(handler, args) -> int:
+    """Run ``handler(args)`` under cProfile; print the top-20 hot spots.
+
+    Gives perf PRs concrete evidence to cite (``neummu run fairness
+    --profile``) instead of guessing where time goes.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = handler(args)
+    finally:
+        profiler.disable()
+        print("\n--- cProfile: top 20 by cumulative time ---")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    handlers = {"run": _cmd_run, "compare": _cmd_compare, "report": _cmd_report}
+    handler = handlers.get(args.command)
+    if handler is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    if getattr(args, "profile", False):
+        return _profiled(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

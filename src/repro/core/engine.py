@@ -46,6 +46,8 @@ merge run — may be deferred to the run boundary).
 
 from __future__ import annotations
 
+import heapq
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +63,36 @@ Transaction = Tuple[int, int]
 #: via :meth:`MMU.shootdown`) before returning; the engine retries the
 #: translation at ``resolved_cycle``.
 FaultHandler = Callable[[int, float], float]
+
+
+def _run_bounds(transactions, i, n, vpn, vpn_shift, meta, rc):
+    """Bounds of the same-page run starting at ``transactions[i]``.
+
+    Returns ``(j, streamable, rc)``: the run's end index, whether it is
+    a contiguous uniform 256 B stream (the closed-form precondition),
+    and the advanced cursor into the DMA-provided ``meta`` run list
+    (``None`` meta falls back to scanning).  One derivation shared by
+    every batched/contended segment — the copies *must* stay
+    operation-identical for the parity contract, so there is exactly
+    one.  Callers memoize the result per run (``run_vpn``/``run_end``),
+    so this runs once per same-page run, not per transaction.
+    """
+    if meta is not None:
+        while meta[rc][0] <= i:
+            rc += 1
+        j, streamable = meta[rc]
+        return j, streamable, rc
+    j = i + 1
+    while j < n and transactions[j][0] >> vpn_shift == vpn:
+        j += 1
+    va0 = transactions[i][0]
+    streamable = (
+        j - i >= 2
+        and transactions[i][1] == 256
+        and transactions[j - 1][0] - va0 == (j - 1 - i) * 256
+        and all(tx[1] == 256 for tx in transactions[i:j])
+    )
+    return j, streamable, rc
 
 
 @dataclass
@@ -104,36 +136,32 @@ class TranslationEngine:
         self.batched = batched
         #: window index -> number of translation requests issued in it
         #: (Figure 7's burst histogram).  Populated when timeline_window > 0.
-        self.timeline: Dict[int, int] = {}
+        #: A defaultdict so the per-transaction histogram update is one
+        #: indexed increment instead of a get-plus-store.
+        self.timeline: Dict[int, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ #
     # dispatch                                                           #
     # ------------------------------------------------------------------ #
 
     def _batchable(self) -> bool:
-        """Whether the fast path covers this engine's configuration.
+        """Whether a fast path covers this engine's configuration.
 
         Timeline capture needs a per-transaction histogram update, the
         prefetcher hooks fire per TLB hit, and the two-level TLB's hit
         latency depends on which level hits — all three fall back to the
         reference path, as does an oracular MMU with a demand-paging
         handler (whose faults route through :meth:`MMU.translate`).  A
-        non-trivial QoS share policy also forces the reference path: quota
-        enforcement lives in :meth:`MMU.translate` / :meth:`TLB.insert`,
-        and the fast path's bulk PRMB/TLB updates would bypass it.  (An
-        oracle has no shared translation structures, so it keeps its fast
-        path under any policy.)
+        non-trivial QoS share policy no longer forces the reference path:
+        it selects the *contended* batched path, which enforces every
+        quota at segment granularity (see :meth:`_run_burst_contended`).
         """
         if self.timeline_window:
             return False
         mmu = self.mmu
         if mmu.config.oracle:
             return self.fault_handler is None
-        return (
-            mmu.prefetcher is None
-            and not mmu._two_level
-            and mmu.share_policy.trivial
-        )
+        return mmu.prefetcher is None and not mmu._two_level
 
     def run_burst(
         self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0
@@ -148,7 +176,9 @@ class TranslationEngine:
         if self.batched and self._batchable():
             if self.mmu.config.oracle:
                 return self._run_burst_oracle(transactions, start_cycle, asid)
-            return self._run_burst_batched(transactions, start_cycle, asid)
+            if self.mmu.share_policy.trivial:
+                return self._run_burst_batched(transactions, start_cycle, asid)
+            return self._run_burst_contended(transactions, start_cycle, asid)
         return self._run_burst_reference(transactions, start_cycle, asid)
 
     # ------------------------------------------------------------------ #
@@ -205,8 +235,7 @@ class TranslationEngine:
                     continue
                 break
             if window:
-                key = int(cycle // window)
-                timeline[key] = timeline.get(key, 0) + 1
+                timeline[int(cycle // window)] += 1
             # Inlined MainMemory.access (same arithmetic/policy).
             channel = (va >> 8) % n_channels
             free_at = channel_free[channel]
@@ -484,11 +513,26 @@ class TranslationEngine:
         i = 0
         while i < n:
             va, size = transactions[i]
+            vpn = va >> vpn_shift
+            tkey = vpn | asid_bits
+            if not prmb_capacity and tkey not in tlb_sets[tkey & tlb_set_mask]:
+                # PRMB-less leading miss: the fused no-PRMB run handles
+                # the page's fresh walk and everything after it directly,
+                # bypassing the translate dispatch.
+                (
+                    i, cycle, data_end, total_bytes, stall,
+                    rc, run_vpn, run_end, run_streamable, handled,
+                ) = self._no_prmb_entry(
+                    transactions, i, n, vpn, tkey, asid, cycle, data_end,
+                    total_bytes, stall, meta, rc, run_vpn, run_end,
+                    run_streamable,
+                )
+                if handled:
+                    continue
+                # i is unchanged here, so va/size/vpn/tkey are still valid.
             # -- reference step for the run's leading transaction --------
             if heap and heap[0][0] <= cycle:
                 process(cycle)
-            vpn = va >> vpn_shift
-            tkey = vpn | asid_bits
             while True:
                 try:
                     ready, retry = translate(vpn, cycle, asid)
@@ -543,22 +587,9 @@ class TranslationEngine:
                     if not hit_runs_batchable:
                         break
                     if run_vpn != vpn or i >= run_end:
-                        if meta is not None:
-                            while meta[rc][0] <= i:
-                                rc += 1
-                            j, run_streamable = meta[rc]
-                        else:
-                            j = i + 1
-                            while j < n and transactions[j][0] >> vpn_shift == vpn:
-                                j += 1
-                            va0 = transactions[i][0]
-                            run_streamable = (
-                                j - i >= 2
-                                and transactions[i][1] == 256
-                                and transactions[j - 1][0] - va0
-                                == (j - 1 - i) * 256
-                                and all(t[1] == 256 for t in transactions[i:j])
-                            )
+                        j, run_streamable, rc = _run_bounds(
+                            transactions, i, n, vpn, vpn_shift, meta, rc
+                        )
                         run_vpn = vpn
                         run_end = j
                     else:
@@ -625,7 +656,17 @@ class TranslationEngine:
                     continue
 
                 if not prmb_capacity:
-                    break
+                    (
+                        i, cycle, data_end, total_bytes, stall,
+                        rc, run_vpn, run_end, run_streamable, handled,
+                    ) = self._no_prmb_entry(
+                        transactions, i, n, vpn, tkey, asid, cycle,
+                        data_end, total_bytes, stall, meta, rc, run_vpn,
+                        run_end, run_streamable,
+                    )
+                    if not handled:
+                        break  # the reference step raises / re-evaluates
+                    continue  # re-dispatch: TLB hits, or a new page
                 walkers = pts_by_vpn.get(tkey)
                 if not walkers:
                     break
@@ -652,21 +693,9 @@ class TranslationEngine:
                     process(cycle)
                     continue
                 if run_vpn != vpn or i >= run_end:
-                    if meta is not None:
-                        while meta[rc][0] <= i:
-                            rc += 1
-                        j, run_streamable = meta[rc]
-                    else:
-                        j = i + 1
-                        while j < n and transactions[j][0] >> vpn_shift == vpn:
-                            j += 1
-                        va0 = transactions[i][0]
-                        run_streamable = (
-                            j - i >= 2
-                            and transactions[i][1] == 256
-                            and transactions[j - 1][0] - va0 == (j - 1 - i) * 256
-                            and all(t[1] == 256 for t in transactions[i:j])
-                        )
+                    j, run_streamable, rc = _run_bounds(
+                        transactions, i, n, vpn, vpn_shift, meta, rc
+                    )
                     run_vpn = vpn
                     run_end = j
                 else:
@@ -822,6 +851,752 @@ class TranslationEngine:
         # *burst* may start at an earlier cycle — multi-tenant tenants run
         # on independent clocks — where a stale backlog would desynchronize
         # walker allocation between the two paths.
+        if n:
+            last_cycle = cycle - interval
+            if heap and heap[0][0] <= last_cycle:
+                process(last_cycle)
+
+        memory.total_bytes += total_bytes
+        memory.total_accesses += n
+        return BurstResult(
+            start_cycle=start_cycle,
+            issue_end_cycle=cycle,
+            data_end_cycle=data_end,
+            transactions=n,
+            bytes_moved=total_bytes,
+            stall_cycles=stall,
+        )
+
+    # ------------------------------------------------------------------ #
+    # no-PRMB continuation (shared by batched and contended paths)       #
+    # ------------------------------------------------------------------ #
+
+    def _no_prmb_run(
+        self,
+        transactions: Sequence[Transaction],
+        i: int,
+        j: int,
+        vpn: int,
+        tkey: int,
+        asid: int,
+        cycle: float,
+        data_end: float,
+        total_bytes: int,
+        stall: float,
+    ):
+        """Fused same-page continuation for PRMB-less MMUs (the
+        baseline-IOMMU regime).
+
+        While this page's walk is in flight, every transaction either
+        launches a redundant walk or stalls on translation bandwidth —
+        the reference loop pays two :meth:`MMU.translate` dispatches per
+        transaction (the stalled probe and its post-retry replay) plus a
+        :meth:`MMU.process_completions` call per stall.  This method
+        replays that exact sequence — same probes, same counters, same
+        retry policy, same retirement points — with walk dispatch and
+        walk retirement inlined against locals bound once per run, and
+        is called once per same-page segment (``transactions[i:j]``, the
+        caller's memoized run bounds) so its own setup amortizes over
+        the run.  Integer counters accumulate in locals and flush once
+        on exit (integer addition is exact and order-independent); float
+        accumulators keep the reference's per-transaction addition
+        order, to which floating-point rounding is sensitive.  Returns
+        ``(i, cycle, data_end, total_bytes, stall, faulted)``; the
+        caller re-dispatches (the run typically flipped to TLB hits) or,
+        on ``faulted``, replays the transaction through the reference
+        step so faults keep their general handling.
+        """
+        mmu = self.mmu
+        pool = mmu.pool
+        pts = mmu.pts
+        tlb = mmu.tlb
+        stats = mmu.stats
+        pool_stats = pool.stats
+        heap = pool.heap
+        interval = self.issue_interval
+        memory = self.memory
+        mem_cfg = memory.config
+        channel_free = memory._channel_free
+        n_channels = mem_cfg.channels
+        ch_bw = mem_cfg.channel_bandwidth
+        mem_latency = mem_cfg.access_latency_cycles
+        tlb_set = tlb._sets[tkey & tlb._set_mask]
+        pts_by_vpn = pts._by_vpn
+        walk_of = pool._walk_of
+        vpn_arr = pool._vpn
+        free_list = pool._free
+        completion_of = pool._completion_of
+        heappush_ = heapq.heappush
+        heappop_ = heapq.heappop
+        poisoned = mmu._poisoned_walkers
+        #: None while the page has no walk in flight (fresh mode): the
+        #: first dispatched walk is then non-redundant and its PTS probe
+        #: was a miss — the probe/stat deltas differ from the redundant
+        #: steady state and are tracked separately below.
+        my_walkers = pts_by_vpn.get(tkey)
+        tpregs = pool._tpregs
+        shared_cache = None if pool._no_path_cache else pool._shared_cache
+        walk_latency = pool.walk_latency_per_level
+        policied = pool._policy is not None
+        busy_by_asid = pool._busy_by_asid
+        tlb_insert = tlb.insert
+        resolver = mmu._resolvers[asid]
+        walk = None
+        faulted = False
+        inf = float("inf")
+        if policied:
+            # Policy answers are constant until the policy's own event
+            # horizon (next_event_for contract), so the tenant's walker
+            # quota binds once per segment; the can_start / retry logic
+            # below replicates WalkerPool.can_start / earliest_retry_for
+            # against it operation for operation.
+            policy = pool._policy
+            n_walkers = pool.n_walkers
+            my_quota = policy.walker_quota(asid, n_walkers)
+            work_conserving = policy.work_conserving
+            my_busy = busy_by_asid.setdefault(asid, set())
+            horizon = policy.next_event_for(asid, cycle)
+            walker_quota = policy.walker_quota
+            policy_asids = policy.asids
+        else:
+            horizon = inf
+        walks_n = 0
+        stalls_n = 0
+        fresh_walk_n = 0
+        fresh_stall_n = 0
+        levels_sum = 0
+        skipped_sum = 0
+
+        while i < j:
+            if heap and heap[0][0] <= cycle:
+                # Inlined walk retirement (PRMB-less: nothing to drain) —
+                # operation-for-operation MMU.process_completions.
+                while heap and heap[0][0] <= cycle:
+                    _, _, walker = heappop_(heap)
+                    done_walk = walk_of[walker]
+                    if tpregs is not None:
+                        tpregs[walker].fill(done_walk)
+                    elif shared_cache is not None:
+                        shared_cache.fill(done_walk)
+                    vpn_arr[walker] = None
+                    walk_of[walker] = None
+                    if policied:
+                        busy = busy_by_asid.get(done_walk.asid)
+                        if busy is not None:
+                            busy.discard(walker)
+                    free_list.append(walker)
+                    if poisoned and walker in poisoned:
+                        poisoned.discard(walker)
+                        continue
+                    # Inlined PTS.release (always registered here).
+                    key = done_walk.vpn | (done_walk.asid << ASID_SHIFT)
+                    registered = pts_by_vpn[key]
+                    registered.remove(walker)
+                    if not registered:
+                        del pts_by_vpn[key]
+                    pts._count -= 1
+                    tlb_insert(done_walk.vpn, done_walk.pfn, done_walk.asid)
+                if tkey in tlb_set:
+                    break  # the run flips to TLB hits
+                my_walkers = pts_by_vpn.get(tkey)
+            if cycle >= horizon:
+                break  # policy answers may change: re-consult via caller
+            if not free_list:
+                startable = False
+            elif not policied or my_quota is None or len(my_busy) < my_quota:
+                startable = True
+            elif not work_conserving:
+                startable = False
+            else:
+                reserved_unmet = 0
+                for other in policy_asids:
+                    if other == asid:
+                        continue
+                    other_quota = walker_quota(other, n_walkers)
+                    if other_quota is not None:
+                        other_busy = busy_by_asid.get(other)
+                        shortfall = other_quota - (
+                            len(other_busy) if other_busy else 0
+                        )
+                        if shortfall > 0:
+                            reserved_unmet += shortfall
+                startable = len(free_list) > reserved_unmet
+            if startable:
+                if walk is None:
+                    walk = resolver.resolve_vpn(vpn)
+                    if walk is None:
+                        faulted = True
+                        break  # the reference step raises / handles it
+                if my_walkers is None:
+                    fresh_walk_n += 1  # PTS missed: a non-redundant walk
+                    my_walkers = pts_by_vpn.setdefault(tkey, [])
+                else:
+                    walks_n += 1
+                # Inlined WalkerPool.start_walk + PTS.register.
+                walker = free_list.pop()
+                if tpregs is not None:
+                    skip = tpregs[walker].lookup(walk)
+                elif shared_cache is not None:
+                    skip = shared_cache.lookup(walk)
+                else:
+                    skip = 0
+                levels = walk.levels
+                accessed = levels - (skip if skip < levels - 1 else levels - 1)
+                ready = cycle + accessed * walk_latency
+                levels_sum += accessed
+                skipped_sum += levels - accessed
+                vpn_arr[walker] = vpn
+                walk_of[walker] = walk
+                completion_of[walker] = ready
+                if policied:
+                    my_busy.add(walker)
+                pool._seq += 1
+                heappush_(heap, (ready, pool._seq, walker))
+                my_walkers.append(walker)
+                va, size = transactions[i]
+                channel = (va >> 8) % n_channels
+                free_at = channel_free[channel]
+                start = ready if ready > free_at else free_at
+                finish = start + size / ch_bw
+                channel_free[channel] = finish
+                done = finish + mem_latency
+                if done > data_end:
+                    data_end = done
+                total_bytes += size
+                cycle += interval
+                i += 1
+                continue
+            # Fully blocked: one stall attempt (probes counted, the
+            # request recounted on retry), then retire whatever unblocks
+            # this context at the loop top and re-attempt.  The retry
+            # point replicates WalkerPool.earliest_retry_for: a tenant
+            # hard-blocked by its quota waits for its own earliest walk;
+            # everyone else waits for the pool-wide earliest completion.
+            if (
+                policied
+                and not work_conserving
+                and my_busy
+                and my_quota is not None
+                and len(my_busy) >= my_quota
+            ):
+                retry = min(completion_of[w] for w in my_busy)
+            else:
+                retry = heap[0][0] if heap else inf
+            if my_walkers is None:
+                fresh_stall_n += 1  # the blocked probe missed the PTS too
+            else:
+                stalls_n += 1
+            stats.stall_cycles += retry - cycle if retry > cycle else 0.0
+            stall += retry - cycle
+            cycle = retry
+
+        # Deferred integer-counter flush (nothing inside the loop reads
+        # these; the retire loop's pts._count decrements commute with the
+        # walk starts' deferred increments).  Fresh-mode attempts probed
+        # an empty scoreboard (no PTS hit, walk not redundant); redundant
+        # attempts hit it.
+        started = walks_n + fresh_walk_n
+        if started:
+            stats.requests += started
+            pool_stats.walks += started
+            pool_stats.level_accesses += levels_sum
+            pool_stats.levels_skipped += skipped_sum
+            pts._count += started
+        if walks_n:
+            stats.redundant_walk_requests += walks_n
+            pool_stats.redundant_walks += walks_n
+        probes = started + stalls_n + fresh_stall_n
+        if probes:
+            tlb.misses += probes
+            pts.lookups += probes
+            pts.hits += walks_n + stalls_n
+        if stalls_n or fresh_stall_n:
+            stats.stall_events += stalls_n + fresh_stall_n
+        return i, cycle, data_end, total_bytes, stall, faulted
+
+    def _no_prmb_entry(
+        self,
+        transactions: Sequence[Transaction],
+        i: int,
+        n: int,
+        vpn: int,
+        tkey: int,
+        asid: int,
+        cycle: float,
+        data_end: float,
+        total_bytes: int,
+        stall: float,
+        meta,
+        rc: int,
+        run_vpn: int,
+        run_end: int,
+        run_streamable: bool,
+    ):
+        """Run-bounds memoization + :meth:`_no_prmb_run` dispatch.
+
+        The single entry shared by the batched and contended paths (they
+        must stay operation-identical for the parity contract, exactly
+        like :func:`_run_bounds`): refresh the caller's memoized
+        same-page run bounds, hand the run to the fused no-PRMB loop,
+        and decide the fall-through.  Returns the updated ``(i, cycle,
+        data_end, total_bytes, stall, rc, run_vpn, run_end,
+        run_streamable, handled)``; ``handled`` is False when the caller
+        must replay transaction ``i`` through its fully general
+        reference step (a fault to raise/handle, or no progress was
+        possible — e.g. a policy event horizon — so the reference step
+        re-evaluates everything).
+        """
+        if run_vpn != vpn or i >= run_end:
+            j, run_streamable, rc = _run_bounds(
+                transactions, i, n, vpn, self.mmu._vpn_shift, meta, rc
+            )
+            run_vpn = vpn
+            run_end = j
+        else:
+            j = run_end
+        before = i
+        i, cycle, data_end, total_bytes, stall, faulted = self._no_prmb_run(
+            transactions, i, j, vpn, tkey, asid, cycle, data_end,
+            total_bytes, stall,
+        )
+        tlb = self.mmu.tlb
+        handled = not faulted and (
+            i > before or tkey in tlb._sets[tkey & tlb._set_mask]
+        )
+        return (
+            i, cycle, data_end, total_bytes, stall,
+            rc, run_vpn, run_end, run_streamable, handled,
+        )
+
+    # ------------------------------------------------------------------ #
+    # contended batched path (non-trivial QoS share policies)            #
+    # ------------------------------------------------------------------ #
+
+    def _run_burst_contended(
+        self, transactions: Sequence[Transaction], start_cycle: float, asid: int = 0
+    ) -> BurstResult:
+        """Same-page run batching under a non-trivial QoS share policy.
+
+        Not all of :meth:`_run_burst_batched`'s deferral arguments
+        survive quotas, so this path re-derives them per branch:
+
+        * **Hit runs** never extend past a walk completion: a policied
+          TLB fill selects victims from per-tenant LRU state, and in the
+          corner where the run's tenant holds a single entry in the
+          target set a deferred fill could evict the run page itself —
+          so fills are retired exactly when the reference loop would,
+          and a hit segment is bounded by the earliest in-flight
+          completion.  Between two completions a resident page stays
+          resident, so the segment is ``span`` identical lookups: one
+          MRU bump, bulk counters, the reference's channel arithmetic.
+        * **Merge runs** are bounded by this page's *own* earliest walk
+          completion (which flips the run to TLB hits) and by the
+          tenant's remaining PRMB-quota room.  Other pages' retirements
+          commute exactly as on the full-share path — they touch neither
+          this page's walkers nor the merge arithmetic — and the quota
+          room they release is recovered at the segment break, where the
+          next leading reference step retires the backlog at the same
+          cycle the reference loop would admit the freed capacity.
+        * Both segment kinds additionally respect the policy's
+          self-reported :meth:`~repro.core.qos.SharePolicy.next_event_for`
+          horizon, so a future time-varying policy is consulted at or
+          before every cycle its answers may change.
+
+        Boundary transactions (the last couple before an event,
+        quota-exhausted merges, walk starts, stalls) fall back to one
+        fully general reference step each, keeping this path
+        bit-identical to :meth:`_run_burst_reference` under every share
+        policy (``tests/test_fastpath_parity.py``).
+        """
+        mmu = self.mmu
+        memory = self.memory
+        vpn_shift = mmu._vpn_shift
+        interval = self.issue_interval
+        fault_handler = self.fault_handler
+        translate = mmu.translate
+        process = mmu.process_completions
+        stats = mmu.stats
+        tlb = mmu.tlb
+        tlb_latency = mmu._tlb_latency
+        pool = mmu.pool
+        heap = pool.heap
+        pts = mmu.pts
+        pts_by_vpn = pts._by_vpn
+        buffers = pool._buffers
+        completion_of = pool._completion_of
+        prmb_capacity = mmu._prmb_slots
+        prmb_occ = pool._prmb_occ
+        prmb_total = pool.n_walkers * pool.prmb_slots
+        policy = mmu.share_policy
+        policy_next_event = policy.next_event_for
+        prmb_quota_of = policy.prmb_quota
+        inf = float("inf")
+
+        mem_cfg = memory.config
+        channel_free = memory._channel_free
+        n_channels = mem_cfg.channels
+        ch_bw = mem_cfg.channel_bandwidth
+        mem_latency = mem_cfg.access_latency_cycles
+        s_cycles = 256 / ch_bw
+        stream_ok = n_channels * interval >= s_cycles
+        merge_stream_ok = n_channels >= s_cycles
+        asid_bits = asid << ASID_SHIFT
+
+        tlb_sets = tlb._sets
+        tlb_set_mask = tlb._set_mask
+
+        cycle = start_cycle
+        data_end = start_cycle
+        stall = 0.0
+        total_bytes = 0
+        n = len(transactions)
+
+        # DMA-provided run metadata (see _run_burst_batched).
+        meta = getattr(transactions, "runs", None)
+        if meta is not None and (
+            not meta
+            or getattr(transactions, "page_size", 0) != 1 << vpn_shift
+        ):
+            meta = None
+        rc = 0
+
+        # Memoized same-page run bounds (re-entered per segment break).
+        run_vpn = -1
+        run_end = 0
+        run_streamable = False
+
+        i = 0
+        while i < n:
+            va, size = transactions[i]
+            vpn = va >> vpn_shift
+            tkey = vpn | asid_bits
+            if not prmb_capacity and tkey not in tlb_sets[tkey & tlb_set_mask]:
+                # PRMB-less leading miss: the fused no-PRMB run handles
+                # the page's fresh walk and everything after it directly,
+                # bypassing the translate dispatch.
+                (
+                    i, cycle, data_end, total_bytes, stall,
+                    rc, run_vpn, run_end, run_streamable, handled,
+                ) = self._no_prmb_entry(
+                    transactions, i, n, vpn, tkey, asid, cycle, data_end,
+                    total_bytes, stall, meta, rc, run_vpn, run_end,
+                    run_streamable,
+                )
+                if handled:
+                    continue
+                # i is unchanged here, so va/size/vpn/tkey are still valid.
+            # -- reference step for the segment's leading transaction ----
+            if heap and heap[0][0] <= cycle:
+                process(cycle)
+            while True:
+                try:
+                    ready, retry = translate(vpn, cycle, asid)
+                except TranslationFault:
+                    if fault_handler is None:
+                        raise
+                    resolved = fault_handler(vpn, cycle)
+                    run_vpn = -1
+                    run_end = 0
+                    stall += resolved - cycle
+                    cycle = resolved
+                    process(cycle)
+                    continue
+                if ready is None:
+                    stall += retry - cycle
+                    cycle = retry
+                    process(cycle)
+                    continue
+                break
+            channel = (va >> 8) % n_channels
+            free_at = channel_free[channel]
+            start = ready if ready > free_at else free_at
+            finish = start + size / ch_bw
+            channel_free[channel] = finish
+            done = finish + mem_latency
+            if done > data_end:
+                data_end = done
+            total_bytes += size
+            cycle += interval
+            i += 1
+
+            # -- bulk continuation between interaction points ------------
+            while i < n and transactions[i][0] >> vpn_shift == vpn:
+                if tkey in tlb_sets[tkey & tlb_set_mask]:
+                    # Bulk TLB hits, bounded by the next walk completion:
+                    # fills are retired exactly where the reference loop
+                    # would retire them (a deferred policied fill could
+                    # in principle evict this very page).  Within the
+                    # segment no fill can land, so every transaction is a
+                    # plain resident lookup: one MRU bump and ``span``
+                    # hits, with the reference's channel arithmetic.
+                    h = heap[0][0] if heap else inf
+                    if h <= cycle:
+                        process(cycle)
+                        continue
+                    horizon = policy_next_event(asid, cycle)
+                    if horizon < h:
+                        h = horizon
+                    # Conservative count of transactions that issue
+                    # strictly before the horizon.
+                    t = int((h - cycle) / interval) - 1 if h != inf else n
+                    if t <= 0:
+                        # Horizon-boundary transaction: exactly one
+                        # reference hit, inlined (no completion is due at
+                        # *this* cycle — ``h > cycle`` — so the reference
+                        # step would be a bare lookup; dense completion
+                        # traffic would otherwise push every such hit
+                        # through the full translate dispatch).
+                        stats.requests += 1
+                        stats.tlb_hits += 1
+                        tlb.lookup(vpn, asid)
+                        ready = cycle + tlb_latency
+                        va, size = transactions[i]
+                        channel = (va >> 8) % n_channels
+                        free_at = channel_free[channel]
+                        start = ready if ready > free_at else free_at
+                        finish = start + size / ch_bw
+                        channel_free[channel] = finish
+                        done = finish + mem_latency
+                        if done > data_end:
+                            data_end = done
+                        total_bytes += size
+                        cycle += interval
+                        i += 1
+                        continue
+                    if run_vpn != vpn or i >= run_end:
+                        j, run_streamable, rc = _run_bounds(
+                            transactions, i, n, vpn, vpn_shift, meta, rc
+                        )
+                        run_vpn = vpn
+                        run_end = j
+                    else:
+                        j = run_end
+                    span = j - i
+                    if span > t:
+                        span = t
+                    closed = False
+                    va0 = transactions[i][0]
+                    if (
+                        span >= 8
+                        and run_streamable
+                        and (span <= n_channels or stream_ok)
+                    ):
+                        base_ch = va0 >> 8
+                        lim = span if span < n_channels else n_channels
+                        ok = max(channel_free) <= cycle + tlb_latency
+                        if not ok:
+                            probe = cycle
+                            ok = True
+                            for k in range(lim):
+                                if channel_free[(base_ch + k) % n_channels] > (
+                                    probe + tlb_latency
+                                ):
+                                    ok = False
+                                    break
+                                probe += interval
+                        if ok:
+                            closed = True
+                            for _ in range(span - lim):
+                                cycle += interval
+                            for k in range(span - lim, span):
+                                ready = cycle + tlb_latency
+                                finish = ready + s_cycles
+                                channel_free[(base_ch + k) % n_channels] = finish
+                                cycle += interval
+                            done = finish + mem_latency
+                            if done > data_end:
+                                data_end = done
+                            total_bytes += span * 256
+                    if not closed:
+                        for va, size in transactions[i:i + span]:
+                            ready = cycle + tlb_latency
+                            channel = (va >> 8) % n_channels
+                            free_at = channel_free[channel]
+                            start = ready if ready > free_at else free_at
+                            finish = start + size / ch_bw
+                            channel_free[channel] = finish
+                            done = finish + mem_latency
+                            if done > data_end:
+                                data_end = done
+                            total_bytes += size
+                            cycle += interval
+                    stats.requests += span
+                    stats.tlb_hits += span
+                    tlb.touch(vpn, span, asid)
+                    i += span
+                    continue
+
+                if not prmb_capacity:
+                    (
+                        i, cycle, data_end, total_bytes, stall,
+                        rc, run_vpn, run_end, run_streamable, handled,
+                    ) = self._no_prmb_entry(
+                        transactions, i, n, vpn, tkey, asid, cycle,
+                        data_end, total_bytes, stall, meta, rc, run_vpn,
+                        run_end, run_streamable,
+                    )
+                    if not handled:
+                        break  # the reference step raises / re-evaluates
+                    continue  # re-dispatch: TLB hits, or a new page
+                walkers = pts_by_vpn.get(tkey)
+                if not walkers:
+                    break
+                # Bulk PRMB merges.  Like the full-share path, a merge
+                # segment only breaks when one of *this page's* walks
+                # completes (flipping the run to TLB hits) — other pages'
+                # retirements commute and are deferred to the next
+                # reference step — but it is additionally bounded by the
+                # tenant's merge-quota room, which only shrinks inside a
+                # segment (the drains that would grow it are themselves
+                # completions the next leading step retires first).
+                if len(walkers) == 1:
+                    h_mine = completion_of[walkers[0]]
+                else:
+                    h_mine = min(completion_of[w] for w in walkers)
+                if cycle >= h_mine:
+                    # This page's own walk completes now: retire the
+                    # backlog and re-dispatch (the run flips to TLB hits).
+                    process(cycle)
+                    continue
+                horizon = policy_next_event(asid, cycle)
+                if horizon < h_mine:
+                    h_mine = horizon
+                quota = prmb_quota_of(asid, prmb_total)
+                if quota is None:
+                    room = n
+                else:
+                    room = quota - prmb_occ.get(asid, 0)
+                    if room <= 0:
+                        break
+                if run_vpn != vpn or i >= run_end:
+                    j, run_streamable, rc = _run_bounds(
+                        transactions, i, n, vpn, vpn_shift, meta, rc
+                    )
+                    run_vpn = vpn
+                    run_end = j
+                else:
+                    j = run_end
+                merged_total = 0
+                full_skips = 0
+                for walker in walkers:
+                    buf = buffers[walker]
+                    pos = buf._occupied
+                    cap = buf.slots
+                    if pos >= cap:
+                        full_skips += 1
+                        continue
+                    comp = completion_of[walker]
+                    room_w = cap - pos
+                    avail = j - i
+                    span = avail if avail < room_w else room_w
+                    if room < span:
+                        span = room
+                    t = int((h_mine - cycle) / interval) - 1
+                    if t < span:
+                        span = t
+                    if span > 0:
+                        closed = False
+                        va0 = transactions[i][0]
+                        if (
+                            span >= 8
+                            and run_streamable
+                            and (span <= n_channels or merge_stream_ok)
+                        ):
+                            base_ch = va0 >> 8
+                            lim = span if span < n_channels else n_channels
+                            ok = max(channel_free) <= comp + (pos + 1)
+                            if not ok:
+                                for k in range(lim):
+                                    if channel_free[(base_ch + k) % n_channels] > (
+                                        comp + (pos + 1 + k)
+                                    ):
+                                        ok = False
+                                        break
+                                else:
+                                    ok = True
+                            if ok:
+                                closed = True
+                                for _ in range(span):
+                                    cycle += interval
+                                for k in range(span - lim, span):
+                                    ready = comp + (pos + 1 + k)
+                                    finish = ready + s_cycles
+                                    channel_free[
+                                        (base_ch + k) % n_channels
+                                    ] = finish
+                                done = finish + mem_latency
+                                if done > data_end:
+                                    data_end = done
+                                total_bytes += span * 256
+                                pos += span
+                        if not closed:
+                            for va, size in transactions[i:i + span]:
+                                pos += 1
+                                ready = comp + pos
+                                channel = (va >> 8) % n_channels
+                                free_at = channel_free[channel]
+                                start = ready if ready > free_at else free_at
+                                finish = start + size / ch_bw
+                                channel_free[channel] = finish
+                                done = finish + mem_latency
+                                if done > data_end:
+                                    data_end = done
+                                total_bytes += size
+                                cycle += interval
+                        k = i + span
+                    else:
+                        k = i
+                    # Residual guarded loop: finishes whatever the bulk
+                    # span left over (the conservative trip count stops up
+                    # to one interval short of the completion horizon),
+                    # bounded per transaction by the quota room.
+                    while k < j and pos < cap and cycle < h_mine and k - i < room:
+                        va, size = transactions[k]
+                        pos += 1
+                        ready = comp + pos
+                        channel = (va >> 8) % n_channels
+                        free_at = channel_free[channel]
+                        start = ready if ready > free_at else free_at
+                        finish = start + size / ch_bw
+                        channel_free[channel] = finish
+                        done = finish + mem_latency
+                        if done > data_end:
+                            data_end = done
+                        total_bytes += size
+                        cycle += interval
+                        k += 1
+                    count = k - i
+                    if count:
+                        buf._occupied = pos
+                        mb_stats = buf.stats
+                        mb_stats.merges += count
+                        if pos > mb_stats.peak_occupancy:
+                            mb_stats.peak_occupancy = pos
+                        # Each merged request first probed every already-
+                        # full walker ahead of this one in the PTS list.
+                        mb_stats.rejects_full += full_skips * count
+                        merged_total += count
+                        room -= count
+                        i = k
+                    if i >= j or cycle >= h_mine or room <= 0:
+                        break
+                    full_skips += 1  # this walker is now truly full
+                if merged_total:
+                    stats.requests += merged_total
+                    stats.merges += merged_total
+                    # Each merged request was one TLB miss + one PTS hit.
+                    tlb.misses += merged_total
+                    pts.lookups += merged_total
+                    pts.hits += merged_total
+                    prmb_occ[asid] = prmb_occ.get(asid, 0) + merged_total
+                    continue
+                # Nothing merged (walkers full / quota / horizon): the
+                # next transaction takes the full reference step.
+                break
+
+        # Catch retirements deferred past merge segments up to the
+        # reference path's end-of-burst point (the final transaction's
+        # issue cycle) — see the matching catch-up in _run_burst_batched.
         if n:
             last_cycle = cycle - interval
             if heap and heap[0][0] <= last_cycle:

@@ -22,10 +22,11 @@ bandwidth is available", Section IV-A).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from ..memory.address import MAX_ASID, PAGE_SIZE_4K, page_offset_bits
+from ..memory.address import ASID_SHIFT, MAX_ASID, PAGE_SIZE_4K, page_offset_bits
 from ..memory.page_table import PageTable
 from .mmu_cache import (
     NullPathCache,
@@ -443,22 +444,66 @@ class MMU:
         return walker, completion
 
     def process_completions(self, cycle: float) -> None:
-        """Retire every walk completing at or before ``cycle``."""
+        """Retire every walk completing at or before ``cycle``.
+
+        This is the walk-retirement hot loop (one iteration per finished
+        walk, millions per run), so the walker-pool bookkeeping of
+        :meth:`WalkerPool.complete_until` is fused inline rather than
+        consumed through the generator — same operations in the same
+        order, without the per-completion suspend/resume and record
+        allocation (``tests/test_pts_prmb_ptw.py`` pins the two paths to
+        each other).
+        """
         if self.config.oracle:
             return
-        heap = self.pool.heap
+        pool = self.pool
+        heap = pool.heap
         if not heap or heap[0][0] > cycle:
             return
         poisoned = self._poisoned_walkers
-        for comp in self.pool.complete_until(cycle):
-            walk = comp.walk
-            if poisoned and comp.walker in poisoned:
+        pts = self.pts
+        pts_by_vpn = pts._by_vpn
+        tlb = self.tlb
+        heappop = heapq.heappop
+        walk_of = pool._walk_of
+        vpn_of = pool._vpn
+        buffers = pool._buffers
+        free = pool._free
+        tpregs = pool._tpregs
+        shared_cache = None if pool._no_path_cache else pool._shared_cache
+        policied = pool._policy is not None
+        while heap and heap[0][0] <= cycle:
+            _, _, walker = heappop(heap)
+            walk = walk_of[walker]
+            if tpregs is not None:
+                tpregs[walker].fill(walk)
+            elif shared_cache is not None:
+                shared_cache.fill(walk)
+            buf = buffers[walker]
+            merged = buf._occupied
+            buf._occupied = 0
+            vpn_of[walker] = None
+            walk_of[walker] = None
+            if policied:
+                busy = pool._busy_by_asid.get(walk.asid)
+                if busy is not None:
+                    busy.discard(walker)
+                if merged:
+                    pool._prmb_occ[walk.asid] -= merged
+            free.append(walker)
+            if poisoned and walker in poisoned:
                 # Shot down mid-walk: the scoreboard entry was already
                 # released; free the walker without filling the TLB.
-                poisoned.discard(comp.walker)
+                poisoned.discard(walker)
                 continue
-            self.pts.release(walk.vpn, comp.walker, walk.asid)
-            self.tlb.insert(walk.vpn, walk.pfn, walk.asid)
+            # Inlined PTS.release (the walker is always registered here).
+            key = walk.vpn | (walk.asid << ASID_SHIFT)
+            walkers = pts_by_vpn[key]
+            walkers.remove(walker)
+            if not walkers:
+                del pts_by_vpn[key]
+            pts._count -= 1
+            tlb.insert(walk.vpn, walk.pfn, walk.asid)
 
     def earliest_event(self) -> float:
         """Next cycle at which MMU state changes (``inf`` when idle)."""
@@ -585,11 +630,35 @@ class SharedMMU:
             self.mmu, self.memory, issue_interval=issue_interval
         )
         self.usage: Dict[int, TenantUsage] = {}
+        self._contention_epoch = 0
 
     @property
     def share_policy(self) -> SharePolicy:
         """The QoS share policy every shared structure consults."""
         return self.mmu.share_policy
+
+    @property
+    def contention_epoch(self) -> int:
+        """Monotone fingerprint of the contention regime.
+
+        Bumped whenever the set of active tenants, a tenant's weight, or
+        the share-policy state changes (:meth:`add_tenant`,
+        :meth:`remove_tenant`, :meth:`set_tenant_weight`,
+        :meth:`bump_contention_epoch`).  FAST-fidelity tile timings
+        converge *within* one epoch: tenant runs key their converged
+        timing caches on it and drop them when it moves, since a timing
+        measured against yesterday's tenant mix says nothing about
+        today's (``tests/test_multi_tenant_fidelity.py``).
+        """
+        return self._contention_epoch
+
+    def bump_contention_epoch(self) -> None:
+        """Invalidate tenants' converged FAST timings (regime change).
+
+        Called automatically by the tenant-registry mutators; call it
+        directly after mutating share-policy state through other means.
+        """
+        self._contention_epoch += 1
 
     def add_tenant(
         self, asid: int, page_table: PageTable, weight: float = 1.0
@@ -601,6 +670,7 @@ class SharedMMU:
         """
         self.mmu.register_context(asid, page_table, weight=weight)
         self.usage[asid] = TenantUsage(asid=asid)
+        self._contention_epoch += 1
         return self.usage[asid]
 
     def set_tenant_weight(self, asid: int, weight: float) -> None:
@@ -608,6 +678,7 @@ class SharedMMU:
         if asid not in self.mmu._resolvers:
             raise KeyError(f"no tenant registered for ASID {asid}")
         self.mmu.share_policy.set_weight(asid, weight)
+        self._contention_epoch += 1
 
     def remove_tenant(self, asid: int) -> TenantUsage:
         """Tear down one tenant's context without disturbing the others.
@@ -619,6 +690,7 @@ class SharedMMU:
         survive teardown.
         """
         self.mmu.destroy_context(asid)
+        self._contention_epoch += 1
         return self.usage[asid]
 
     @property

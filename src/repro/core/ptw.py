@@ -25,7 +25,7 @@ from .tpreg import TPreg, TPregStats
 from .walk_info import WalkInfo
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkCompletion:
     """One finished page-table walk, ready for MMU post-processing."""
 
@@ -87,6 +87,12 @@ class WalkerPool:
             [TPreg() for _ in range(n_walkers)] if use_tpreg else None
         )
         self._shared_cache: PathCache = shared_path_cache or NullPathCache()
+        #: True when no path cache is configured at all (neither per-walker
+        #: TPregs nor a shared TPC/UPTC): the hot walk-dispatch and
+        #: completion loops skip the null cache's virtual calls entirely.
+        self._no_path_cache = self._tpregs is None and isinstance(
+            self._shared_cache, NullPathCache
+        )
 
         #: Non-trivial share policy (None = full sharing, zero overhead).
         self._policy = policy if policy is not None and not policy.trivial else None
@@ -94,6 +100,10 @@ class WalkerPool:
         #: ASID's PRMB occupancy is the sum of its busy walkers' buffers
         #: (the PTS never merges across address spaces).
         self._busy_by_asid: Dict[int, Set[int]] = {}
+        #: Per-ASID count of requests parked in PRMBs, maintained only
+        #: under a policy (incremented on merge, decremented on drain) so
+        #: :meth:`can_merge`'s quota check is O(1) on the translate path.
+        self._prmb_occ: Dict[int, int] = {}
         self._free: List[int] = list(range(n_walkers - 1, -1, -1))
         self._vpn: List[Optional[int]] = [None] * n_walkers
         self._completion_of: List[float] = [0.0] * n_walkers
@@ -124,7 +134,13 @@ class WalkerPool:
         return len(busy) if busy else 0
 
     def prmb_occupancy_of(self, asid: int) -> int:
-        """Merged requests parked in one address space's walkers' PRMBs."""
+        """Merged requests parked in one address space's walkers' PRMBs.
+
+        O(1) under a share policy (merge/drain maintain a per-ASID
+        counter); computed by scanning the tenant's busy walkers otherwise.
+        """
+        if self._policy is not None:
+            return self._prmb_occ.get(asid, 0)
         busy = self._busy_by_asid.get(asid)
         if not busy:
             return 0
@@ -151,7 +167,7 @@ class WalkerPool:
         if not policy.work_conserving:
             return False
         reserved_unmet = 0
-        for other in policy.tenants:
+        for other in policy.asids:
             if other == asid:
                 continue
             other_quota = policy.walker_quota(other, self.n_walkers)
@@ -206,6 +222,10 @@ class WalkerPool:
         position = self._buffers[walker].try_merge()
         if position == 0:
             return -1.0
+        if self._policy is not None:
+            walk = self._walk_of[walker]
+            occ = self._prmb_occ
+            occ[walk.asid] = occ.get(walk.asid, 0) + 1
         return self._completion_of[walker] + position
 
     def start_walk(
@@ -220,8 +240,9 @@ class WalkerPool:
             raise RuntimeError("start_walk called with no free walker")
         walker = self._free.pop()
 
-        skip = 0
-        if self._tpregs is not None:
+        if self._no_path_cache:
+            skip = 0
+        elif self._tpregs is not None:
             skip = self._tpregs[walker].lookup(walk)
         else:
             skip = self._shared_cache.lookup(walk)
@@ -263,10 +284,11 @@ class WalkerPool:
             completion, _, walker = heapq.heappop(self.heap)
             walk = self._walk_of[walker]
             assert walk is not None
-            if self._tpregs is not None:
-                self._tpregs[walker].fill(walk)
-            else:
-                self._shared_cache.fill(walk)
+            if not self._no_path_cache:
+                if self._tpregs is not None:
+                    self._tpregs[walker].fill(walk)
+                else:
+                    self._shared_cache.fill(walk)
             merged = self._buffers[walker].drain()
             self._vpn[walker] = None
             self._walk_of[walker] = None
@@ -274,6 +296,8 @@ class WalkerPool:
                 busy = self._busy_by_asid.get(walk.asid)
                 if busy is not None:
                     busy.discard(walker)
+                if merged:
+                    self._prmb_occ[walk.asid] -= merged
             self._free.append(walker)
             yield WalkCompletion(
                 cycle=completion, walker=walker, walk=walk, merged_requests=merged

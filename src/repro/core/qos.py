@@ -34,6 +34,7 @@ to the pre-QoS engine against golden captures (``tests/test_qos.py``).
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence
 
 #: Valid :class:`SharePolicy` kinds, in documentation order.
@@ -88,6 +89,11 @@ class SharePolicy:
 
     def __init__(self, weights: Optional[Dict[int, float]] = None):
         self._weights: Dict[int, float] = {}
+        #: Memoized ``(asid, capacity) -> quota`` answers.  Quotas are
+        #: pure functions of the weight registry, recomputed from scratch
+        #: on the translate hot path otherwise; any registry change
+        #: invalidates the whole cache.
+        self._quota_cache: Dict[tuple, Optional[int]] = {}
         if weights:
             for asid, weight in weights.items():
                 self.register(asid, weight)
@@ -101,10 +107,12 @@ class SharePolicy:
                 f"tenant weight must be positive, got {weight} for ASID {asid}"
             )
         self._weights[asid] = float(weight)
+        self._quota_cache.clear()
 
     def unregister(self, asid: int) -> None:
         """Drop one tenant; surviving tenants' shares grow accordingly."""
         self._weights.pop(asid, None)
+        self._quota_cache.clear()
 
     set_weight = register
 
@@ -112,6 +120,11 @@ class SharePolicy:
     def tenants(self) -> List[int]:
         """Registered ASIDs, in registration order."""
         return list(self._weights)
+
+    @property
+    def asids(self):
+        """Registered ASIDs as a live view (no copy — hot-path iteration)."""
+        return self._weights.keys()
 
     def weight_of(self, asid: int) -> float:
         """The tenant's registered weight (1.0 when unregistered)."""
@@ -146,6 +159,25 @@ class SharePolicy:
     def prmb_quota(self, asid: int, total_slots: int) -> Optional[int]:
         """Max merged requests ``asid`` may park (None = unlimited)."""
         return self.quota(asid, total_slots)
+
+    # -- event horizon -------------------------------------------------- #
+
+    def next_event_for(self, asid: int, cycle: float) -> float:
+        """Next cycle at which this policy's answers for ``asid`` can
+        change *of the policy's own accord*.
+
+        The engine's contended batched path never extends a bulk segment
+        past this cycle, re-consulting the policy there; the event-driven
+        multi-tenant scheduler treats it the same way.  The built-in
+        policies' quotas depend only on the tenant registry — never on
+        time — so they report ``inf`` and segments are bounded by walk
+        completions alone.  A time-varying policy (periodic weight
+        rebalancing, SLO-driven boosts) overrides this to its next
+        transition cycle.  Occupancy-driven changes (a tenant's own
+        merges or fills approaching its cap) are accounted for by the
+        enforcement sites directly and need not be reported here.
+        """
+        return float("inf")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(tenants={self._weights})"
@@ -182,10 +214,17 @@ class StaticPartition(SharePolicy):
         return self._weights[asid] / total
 
     def quota(self, asid: int, capacity: int) -> Optional[int]:
+        cache = self._quota_cache
+        key = (asid, capacity)
+        if key in cache:
+            return cache[key]
         share = self.share_of(asid)
         if share is None or capacity <= 0:
-            return None
-        return max(1, int(capacity * share))
+            value = None
+        else:
+            value = max(1, int(capacity * share))
+        cache[key] = value
+        return value
 
 
 class WeightedShare(StaticPartition):
@@ -234,6 +273,18 @@ class Arbiter:
     exposes ``done`` and ``advance() -> int``, the translation-request
     cost of the step just executed) to completion, deciding after every
     step whose pipeline the shared DMA front-end services next.
+
+    The arbiters are *event-driven*: a run that additionally exposes
+    ``advance_quiet(limit) -> int`` (see
+    :meth:`repro.npu.simulator._TenantRun.advance_quiet`) is advanced to
+    its next **interaction point** — the first tile step that must touch
+    the shared walker pool, PRMB, TLB quotas or memory channels — in one
+    closed-form stretch, instead of being stepped through every
+    translation-slot quantum.  Quiet steps read and write only the run's
+    private pipeline state, so each arbiter hoists them in a way that
+    provably preserves its historical service order for the interacting
+    steps (documented per arbiter); plain runs without ``advance_quiet``
+    are scheduled exactly as before.
     """
 
     kind = "base"
@@ -241,6 +292,15 @@ class Arbiter:
     def run(self, runs: Sequence) -> None:
         """Advance every run to completion under this policy."""
         raise NotImplementedError
+
+    def next_event_for(self, asid: int, cycle: float) -> float:
+        """Next cycle at which this arbiter's service answer for ``asid``
+        can change *of its own accord* (``inf`` for the built-ins, whose
+        decisions are driven purely by run state, never by wall-clock
+        cycles).  Mirrors :meth:`SharePolicy.next_event_for` so a future
+        time-sliced arbiter can bound the event-driven core's stretches.
+        """
+        return float("inf")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -251,16 +311,40 @@ class RoundRobinArbiter(Arbiter):
 
     Bursts from different tenants overlap in time, so walkers and memory
     channels see genuinely mixed traffic — the contention regime.
+
+    Event-driven form: when a run's next steps are quiet, the whole
+    stretch executes on its first turn and the run then *sits out* one
+    rotation turn per remaining hoisted step.  Every interacting step
+    therefore lands on exactly the rotation turn the one-step-per-turn
+    schedule would have given it, and since quiet steps touch no shared
+    state, the results are bit-identical to the historical arbiter.
     """
 
     kind = "round_robin"
 
     def run(self, runs: Sequence) -> None:
         pending = [run for run in runs if not run.done]
+        owed: Dict[int, int] = {}
         while pending:
             for run in list(pending):
-                run.advance()
-                if run.done:
+                key = id(run)
+                turns_owed = owed.get(key, 0)
+                if turns_owed:
+                    if turns_owed == 1:
+                        del owed[key]
+                        if run.done:
+                            pending.remove(run)
+                    else:
+                        owed[key] = turns_owed - 1
+                    continue
+                quiet = getattr(run, "advance_quiet", None)
+                executed = quiet() if quiet is not None else 0
+                if not executed:
+                    run.advance()
+                    executed = 1
+                if executed > 1:
+                    owed[key] = executed - 1
+                elif run.done:
                     pending.remove(run)
 
 
@@ -268,15 +352,18 @@ class PriorityArbiter(Arbiter):
     """Lower ASIDs run to completion first (strict time multiplexing).
 
     Later tenants inherit a polluted TLB/path-cache state but never
-    overlap with earlier ones.
+    overlap with earlier ones.  (Service is already sequential, so quiet
+    stretches trivially preserve the order.)
     """
 
     kind = "priority"
 
     def run(self, runs: Sequence) -> None:
         for run in runs:
+            quiet = getattr(run, "advance_quiet", None)
             while not run.done:
-                run.advance()
+                if quiet is None or not quiet():
+                    run.advance()
 
 
 class WeightedQuantumArbiter(Arbiter):
@@ -333,6 +420,30 @@ class WeightedQuantumArbiter(Arbiter):
         self.skew_floor = skew_floor
 
     def run(self, runs: Sequence) -> None:
+        """Heap-ordered event loop over tenant clocks.
+
+        The historical decision procedure — find the laggard, filter by
+        credit and skew horizon, service the min-clock eligible tenant,
+        debit, refill when nobody is eligible — is preserved decision for
+        decision; what changed is how each decision is computed:
+
+        * pending runs live in a lazily-invalidated min-heap keyed by
+          ``(clock, index)``, so the laggard and the min-clock eligible
+          tenant come off the heap top instead of O(n) scans (entries go
+          stale when a run advances; a version counter skips them);
+        * after servicing a tenant, service *stays* with it — without
+          re-running the full decision — for as long as it holds credit
+          and its clock remains strictly below every other pending
+          tenant's: in that state it is the laggard (trivially inside
+          its own skew horizon) and the unique min-clock eligible, so
+          the reference procedure would pick it again.  Ties fall back
+          to the full decision, whose ``(clock, index)`` heap order
+          reproduces the reference's lowest-index tie-break.
+
+        Both shortcuts reproduce the historical service sequence exactly
+        (the decision-sequence unit tests and the bit-identical golden
+        captures lock this in).
+        """
         weights = self.weights or [1.0] * len(runs)
         if len(weights) != len(runs):
             raise ValueError(
@@ -341,23 +452,67 @@ class WeightedQuantumArbiter(Arbiter):
             )
         deficit = [0.0] * len(runs)
         pending = [i for i, run in enumerate(runs) if not run.done]
+        version = [0] * len(runs)
+        heap = [(runs[i].clock, i, 0) for i in pending]
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        skew_floor = self.skew_floor
+        skew_window = self.skew_window
         while pending:
-            laggard = min(runs[i].clock for i in pending)
-            horizon = laggard + max(self.skew_floor, self.skew_window * laggard)
-            eligible = [
-                i for i in pending
-                if deficit[i] > 0 and runs[i].clock <= horizon
-            ]
-            if not eligible:
+            # -- one reference decision, off the heap ------------------- #
+            while heap and heap[0][2] != version[heap[0][1]]:
+                heappop(heap)
+            laggard = heap[0][0]
+            skew = skew_window * laggard
+            horizon = laggard + (skew_floor if skew_floor > skew else skew)
+            idx = -1
+            parked = None
+            while heap:
+                clock, i, v = heap[0]
+                if v != version[i]:
+                    heappop(heap)
+                    continue
+                if clock > horizon:
+                    break
+                if deficit[i] > 0:
+                    idx = i
+                    break
+                # Credit-exhausted tenant below the horizon: set it aside
+                # so the next-lowest clock surfaces, restore afterwards.
+                if parked is None:
+                    parked = []
+                parked.append(heappop(heap))
+            if idx >= 0:
+                # Consume idx's entry while it is still the heap top,
+                # before the parked (lower-clock) entries come back.
+                heappop(heap)
+                version[idx] += 1
+            if parked is not None:
+                for entry in parked:
+                    heappush(heap, entry)
+            if idx < 0:
                 for i in pending:
                     deficit[i] += weights[i] * self.quantum
                 continue
-            idx = min(eligible, key=lambda i: runs[i].clock)
-            cost = runs[idx].advance()
-            deficit[idx] -= max(1, cost or 0)
-            if runs[idx].done:
-                deficit[idx] = 0.0
-                pending.remove(idx)
+            # -- service, staying with the strict laggard --------------- #
+            while heap and heap[0][2] != version[heap[0][1]]:
+                heappop(heap)
+            others_min = heap[0][0] if heap else float("inf")
+            run = runs[idx]
+            credit = deficit[idx]
+            while True:
+                cost = run.advance()
+                credit -= cost if cost and cost > 1 else 1
+                if run.done:
+                    credit = 0.0
+                    pending.remove(idx)
+                    break
+                if credit <= 0 or run.clock >= others_min:
+                    break
+            deficit[idx] = credit
+            if not run.done:
+                heappush(heap, (run.clock, idx, version[idx]))
 
 
 def make_arbiter(

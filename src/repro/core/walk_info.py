@@ -11,16 +11,18 @@ much smaller set of pages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from ..memory.address import PAGE_SIZE_4K, page_offset_bits, split_indices
 from ..memory.page_table import PageFault, PageTable
 
 
-@dataclass(frozen=True)
-class WalkInfo:
+class WalkInfo(NamedTuple):
     """Everything known about one page's translation.
+
+    A ``NamedTuple`` rather than a dataclass: resolvers mint one per
+    distinct page per context, and the C-level tuple constructor keeps
+    that churn off the profile while staying immutable and slotted.
 
     Attributes
     ----------
@@ -79,22 +81,22 @@ class WalkResolver:
             return cached
         va = vpn << self._offset_bits
         try:
-            result = self.page_table.walk(va)
+            pfn, page_size, levels, entry_pas = self.page_table.resolve(va)
         except PageFault:
             self._cache[vpn] = None
             return None
         l4, l3, l2, _ = split_indices(va)
-        if result.page_size == PAGE_SIZE_4K:
+        if page_size == PAGE_SIZE_4K:
             path: Tuple[int, ...] = (l4, l3, l2)
         else:
             path = (l4, l3)
         info = WalkInfo(
             vpn=vpn,
-            pfn=result.pfn,
-            page_size=result.page_size,
-            levels=result.levels_accessed,
+            pfn=pfn,
+            page_size=page_size,
+            levels=levels,
             path=path,
-            entry_pas=tuple(step.entry_pa for step in result.steps),
+            entry_pas=entry_pas,
             asid=self.asid,
         )
         self._cache[vpn] = info

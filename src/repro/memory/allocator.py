@@ -169,11 +169,24 @@ class AddressSpace:
         return seg
 
     def populate(self, seg: Segment) -> None:
-        """Back every page of ``seg`` with physical frames."""
+        """Back every page of ``seg`` with physical frames.
+
+        Consecutive frame runs (the common bump-allocator case) install
+        through :meth:`~repro.memory.page_table.PageTable.map_range`'s
+        bulk path; only fragmented free-list reuse maps page by page.
+        """
         n_pages = (seg.length + seg.page_size - 1) // seg.page_size
         frames = self.frames.alloc(n_pages)
-        for i, pfn in enumerate(frames):
-            self.page_table.map_page(seg.va + i * seg.page_size, pfn, seg.page_size)
+        page_table = self.page_table
+        psize = seg.page_size
+        i = 0
+        while i < n_pages:
+            first = frames[i]
+            j = i + 1
+            while j < n_pages and frames[j] == first + (j - i):
+                j += 1
+            page_table.map_range(seg.va + i * psize, (j - i) * psize, first, psize)
+            i = j
 
     def touch(self, va: int, page_size: Optional[int] = None) -> bool:
         """Fault-in the page containing ``va`` if unmapped.

@@ -16,7 +16,7 @@ virtual L4/L3/L2 indices — Section IV-C).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, NamedTuple, Optional, Tuple
 
 from .address import (
     ENTRIES_PER_NODE,
@@ -83,9 +83,9 @@ class _Node:
         self.entries: Dict[int, object] = {}
 
 
-@dataclass(frozen=True)
-class _Leaf:
-    """A present leaf mapping."""
+class _Leaf(NamedTuple):
+    """A present leaf mapping (NamedTuple: one per mapped page, and the
+    C-level constructor keeps bulk mapping cheap)."""
 
     pfn: int
     page_size: int
@@ -157,6 +157,37 @@ class PageTable:
         if va & (page_size - 1):
             raise AddressError(f"range base 0x{va:x} not {page_size}-byte aligned")
         n_pages = (length + page_size - 1) // page_size
+        if page_size == PAGE_SIZE_4K:
+            # Bulk fast path: descend to each L1 node once and install its
+            # (up to 512) consecutive leaves in a tight loop, instead of a
+            # full root-to-leaf descent per page.  Same leaves, same
+            # interior-node creation order, same accounting as map_page.
+            mapped = 0
+            while mapped < n_pages:
+                page_va = va + mapped * PAGE_SIZE_4K
+                l4, l3, l2, l1 = split_indices(page_va)
+                node = self._root
+                for idx in (l4, l3, l2):
+                    child = node.entries.get(idx)
+                    if child is None:
+                        child = self._new_node()
+                        node.entries[idx] = child
+                    elif isinstance(child, _Leaf):
+                        raise AddressError(
+                            f"VA 0x{page_va:x}: level already holds a "
+                            f"large-page leaf"
+                        )
+                    node = child
+                count = min(ENTRIES_PER_NODE - l1, n_pages - mapped)
+                entries = node.entries
+                pfn = first_pfn + mapped
+                for leaf_idx in range(l1, l1 + count):
+                    if leaf_idx not in entries:
+                        self._mapped_bytes += PAGE_SIZE_4K
+                    entries[leaf_idx] = _Leaf(pfn=pfn, page_size=PAGE_SIZE_4K)
+                    pfn += 1
+                mapped += count
+            return n_pages
         for i in range(n_pages):
             self.map_page(va + i * page_size, first_pfn + i, page_size)
         return n_pages
@@ -198,6 +229,29 @@ class PageTable:
                     va=va, pfn=entry.pfn, page_size=entry.page_size, steps=tuple(steps)
                 )
             node = entry  # type: ignore[assignment]
+        raise AddressError(f"walk for VA 0x{va:x} descended past L1")
+
+    def resolve(self, va: int) -> Tuple[int, int, int, Tuple[int, ...]]:
+        """Lean walk: ``(pfn, page_size, levels_accessed, entry_pas)``.
+
+        Same traversal and fault behaviour as :meth:`walk`, returning the
+        exact fields the timing engine's :class:`~repro.core.walk_info.WalkResolver`
+        consumes without materializing per-level :class:`WalkStep` records
+        — resolvers walk every distinct page of every context, so the
+        object churn is measurable at workload scale.
+        """
+        indices = split_indices(va)
+        node = self._root
+        entry_pas = []
+        for level in range(PAGE_TABLE_LEVELS, 0, -1):
+            idx = indices[PAGE_TABLE_LEVELS - level]
+            entry_pas.append(node.pa + 8 * idx)
+            entry = node.entries.get(idx)
+            if entry is None:
+                raise PageFault(va, level)
+            if type(entry) is _Leaf:
+                return entry.pfn, entry.page_size, len(entry_pas), tuple(entry_pas)
+            node = entry
         raise AddressError(f"walk for VA 0x{va:x} descended past L1")
 
     def translate(self, va: int) -> int:

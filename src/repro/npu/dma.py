@@ -115,6 +115,8 @@ class DMAEngine:
         txs = TransactionStream(page_size)
         runs = txs.runs
         append = txs.append
+        extend = txs.extend
+        vector_ok = max_bytes == 256
         idx = 0
         run_page = -1
         streamable = True
@@ -122,6 +124,34 @@ class DMAEngine:
         for extent in fetch.extents():
             va = extent.va
             remaining = extent.length
+            if vector_ok and not va & 255 and remaining >= 256:
+                # Vectorized emission of the dominant shape: a 256 B
+                # aligned extent yields uniform back-to-back 256 B
+                # transactions, whose same-page runs fall at page
+                # boundaries computable arithmetically.  Bit-identical
+                # to the scalar loop below (tests/test_dma.py), which
+                # still handles the sub-256 B tail and unaligned heads.
+                n_full = remaining >> 8
+                end = va + (n_full << 8)
+                page = va & page_mask
+                if page != run_page:
+                    if run_page >= 0:
+                        runs.append((idx, streamable))
+                    run_page = page
+                    streamable = True
+                elif va != prev_end:
+                    streamable = False  # same page, but a gap in VA
+                next_boundary = (va | (page_size - 1)) + 1
+                if next_boundary < end:
+                    for b in range(next_boundary, end, page_size):
+                        runs.append((idx + ((b - va) >> 8), streamable))
+                        streamable = True
+                    run_page = (end - 256) & page_mask
+                extend([(v, 256) for v in range(va, end, 256)])
+                idx += n_full
+                prev_end = end
+                va = end
+                remaining -= n_full << 8
             while remaining > 0:
                 room = boundary - (va & offset_mask)
                 chunk = room if room < max_bytes else max_bytes

@@ -58,6 +58,39 @@ class Fidelity(enum.Enum):
     FAST = "fast"
 
 
+class _TimingCache:
+    """One tenant run's FAST-fidelity tile-timing state.
+
+    ``history`` maps a tile-step signature to the list of simulated
+    ``(memory-phase duration, issue occupancy)`` samples; once ``warmup``
+    samples exist, their mean is computed a single time into
+    ``converged`` and reused for every later instance of the signature
+    (the mean is stable — history stops growing at convergence — so
+    memoizing it is bit-identical to recomputing per step).
+
+    ``epoch`` is the *contention epoch* the cached timings were measured
+    under: the shared MMU bumps its epoch whenever the set of active
+    tenants, their weights, or the share-policy state changes
+    (:attr:`~repro.core.mmu.SharedMMU.contention_epoch`), and a run whose
+    cache carries a stale epoch drops all of it and re-warms — converged
+    timings embed the contention of the tenants that were active when
+    they were measured, so they are only valid within one epoch.
+    """
+
+    __slots__ = ("history", "converged", "epoch")
+
+    def __init__(self, epoch: int = 0):
+        self.history: Dict[Tuple, List[Tuple[float, float]]] = {}
+        self.converged: Dict[Tuple, Tuple[float, float]] = {}
+        self.epoch = epoch
+
+    def invalidate(self, epoch: int) -> None:
+        """Drop every cached timing and adopt the new contention epoch."""
+        self.history.clear()
+        self.converged.clear()
+        self.epoch = epoch
+
+
 @dataclass
 class LayerResult:
     """Per-layer timing summary."""
@@ -211,7 +244,8 @@ class NPUSimulator:
         """
         run = _TenantRun(self)
         while not run.done:
-            run.advance()
+            if not run.advance_quiet():
+                run.advance()
         self.mmu.drain()
         return RunResult(
             workload=self.workload.name,
@@ -228,26 +262,29 @@ class NPUSimulator:
         self,
         step: TileStep,
         mem_start: float,
-        timing_cache: Dict[Tuple, List[Tuple[float, float]]],
+        cache: _TimingCache,
     ) -> Tuple[float, float, bool]:
         """Memory-phase (duration, issue-occupancy, was_simulated) of a step.
 
         In FAST mode, once ``warmup`` instances of a signature have been
-        simulated, the mean of the post-cold-start instances is reused.
+        simulated, the mean of the post-cold-start instances is computed
+        once into ``cache.converged`` and reused.
         """
         if not step.fetches:
             return (0.0, 0.0, False)
         signature = step.signature
-        history = timing_cache.get(signature)
-        if (
-            self.fidelity is Fidelity.FAST
-            and history is not None
-            and len(history) >= self.warmup
-        ):
+        fast = self.fidelity is Fidelity.FAST
+        if fast:
+            converged = cache.converged.get(signature)
+            if converged is not None:
+                return (converged[0], converged[1], False)
+        history = cache.history.get(signature)
+        if fast and history is not None and len(history) >= self.warmup:
             # Skip the first (cold) instance when averaging if we can.
             samples = history[1:] if len(history) > 1 else history
             mean_duration = sum(s[0] for s in samples) / len(samples)
             mean_issue = sum(s[1] for s in samples) / len(samples)
+            cache.converged[signature] = (mean_duration, mean_issue)
             return (mean_duration, mean_issue, False)
 
         bursts = [self.dma.transactions(fetch) for fetch in step.fetches]
@@ -258,7 +295,7 @@ class NPUSimulator:
         duration = data_end - mem_start
         issue = results[-1].issue_end_cycle - mem_start
         if history is None:
-            timing_cache[signature] = [(duration, issue)]
+            cache.history[signature] = [(duration, issue)]
         else:
             history.append((duration, issue))
         return (duration, issue, True)
@@ -323,9 +360,12 @@ class _TenantRun:
 
     def __init__(self, sim: NPUSimulator):
         self.sim = sim
-        # FAST-mode cache: step signature -> list of simulated durations
-        # (memory-phase length, issue-port occupancy).
-        self.timing_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
+        # FAST-mode cache: simulated timing history plus converged means,
+        # keyed by step signature and stamped with the contention epoch
+        # the timings were measured under (see _TimingCache).
+        self.timing_cache = _TimingCache(
+            sim._shared.contention_epoch if sim._shared is not None else 0
+        )
         self.layer_idx = 0
         self.step_idx = 0
         self.step_counter = 0
@@ -391,6 +431,14 @@ class _TenantRun:
         if self.done:
             raise RuntimeError("tenant already finished")
         sim = self.sim
+        shared = sim._shared
+        if (
+            shared is not None
+            and self.timing_cache.epoch != shared.contention_epoch
+        ):
+            # The tenant set / policy state changed: every converged
+            # timing was measured under a different contention regime.
+            self.timing_cache.invalidate(shared.contention_epoch)
         requests_before = sim.mmu.stats.requests
         step = sim._schedules[self.layer_idx].steps[self.step_idx]
 
@@ -423,6 +471,70 @@ class _TenantRun:
             self._close_layer()
             self._skip_empty_layers()
         return sim.mmu.stats.requests - requests_before
+
+    def advance_quiet(self, limit: Optional[int] = None) -> int:
+        """Execute up to ``limit`` consecutive *quiet* tile steps.
+
+        A quiet step cannot touch shared state: it is compute-only, or
+        its FAST-fidelity timing has converged so the memory phase is
+        replayed from the cache.  The stretch is the closed form of the
+        double-buffer recurrence — the same float operations
+        :meth:`advance` performs, run in a tight loop against locals —
+        and stops at the run's next *interaction point*: the first step
+        that must simulate against the shared MMU/memory system (or
+        completion).  Event-driven schedulers hoist these stretches out
+        of their service loops; because quiet steps read and write only
+        this run's private pipeline state, executing a stretch ahead of
+        other tenants' turns is observationally identical to
+        interleaving it (the bit-identity tests lock this in).
+
+        Returns the number of steps executed (0 when the next step must
+        interact, the run is finished, or fidelity is EXACT).
+        """
+        sim = self.sim
+        if sim.fidelity is not Fidelity.FAST or self.done:
+            return 0
+        shared = sim._shared
+        if (
+            shared is not None
+            and self.timing_cache.epoch != shared.contention_epoch
+        ):
+            self.timing_cache.invalidate(shared.contention_epoch)
+        converged = self.timing_cache.converged
+        gemm_cycles = sim.compute_model.gemm_cycles
+        schedules = sim._schedules
+        executed = 0
+        while limit is None or executed < limit:
+            if self.done:
+                break
+            step = schedules[self.layer_idx].steps[self.step_idx]
+            if step.fetches:
+                timing = converged.get(step.signature)
+                if timing is None:
+                    break  # interaction point: this step must simulate
+                mem_duration, issue_duration = timing
+            else:
+                mem_duration = 0.0
+                issue_duration = 0.0
+            mem_free = self.mem_free
+            prev_prev = self.prev_prev_comp_end
+            mem_start = mem_free if mem_free > prev_prev else prev_prev
+            mem_end = mem_start + mem_duration
+            self.mem_free = mem_start + issue_duration
+            compute = step.compute
+            compute_cycles = gemm_cycles(compute.m, compute.k, compute.n)
+            prev_comp_end = self.prev_comp_end
+            comp_start = mem_end if mem_end > prev_comp_end else prev_comp_end
+            self.layer_compute += compute_cycles
+            self.prev_prev_comp_end = prev_comp_end
+            self.prev_comp_end = comp_start + compute_cycles
+            self.step_idx += 1
+            self.step_counter += 1
+            executed += 1
+            if self.step_idx >= len(schedules[self.layer_idx].steps):
+                self._close_layer()
+                self._skip_empty_layers()
+        return executed
 
 
 class MultiTenantSimulator:
@@ -516,7 +628,18 @@ class MultiTenantSimulator:
             self.shared.set_tenant_weight(asid, weight)
 
     def run(self) -> MultiTenantResult:
-        """Execute all tenants to completion under the arbitration policy."""
+        """Execute all tenants to completion under the arbitration policy.
+
+        The arbiter hierarchy is event-driven (:class:`~repro.core.qos.Arbiter`):
+        each tenant run advances to its next *interaction point* — a tile
+        step that must simulate against the shared walker pool, PRMB,
+        TLB quotas or memory channels — in one closed-form stretch
+        (:meth:`_TenantRun.advance_quiet`), instead of being stepped one
+        translation-slot quantum at a time; within a simulated burst the
+        engine's batched paths bound their segments by the same
+        interaction points.  Service order for the interacting steps is
+        bit-identical to the historical quantum-by-quantum arbiters.
+        """
         runs = [_TenantRun(tenant) for tenant in self.tenants]
         self.arbiter.run(runs)
         self.shared.mmu.drain()

@@ -47,6 +47,10 @@ class SystolicArrayModel:
 
     def __init__(self, config: NPUConfig | None = None):
         self.config = config or NPUConfig()
+        #: Memoized (m, k, n) -> cycles.  The model is a pure function of
+        #: the config, and tile pipelines ask for the same handful of
+        #: shapes once per tile step.
+        self._gemm_cache: dict = {}
 
     def folds(self, shape: GemmShape) -> int:
         """Number of weight folds the GEMM requires."""
@@ -70,11 +74,16 @@ class SystolicArrayModel:
 
         Steady-state fold pipeline plus one array fill + drain.
         """
+        cached = self._gemm_cache.get((m, k, n))
+        if cached is not None:
+            return cached
         shape = GemmShape(m, k, n)
         rows = self.config.array_rows
         cols = self.config.array_cols
         fill_drain = rows + cols + min(shape.m, rows) - 2
-        return float(self.folds(shape) * self.cycles_per_fold(shape) + fill_drain)
+        cycles = float(self.folds(shape) * self.cycles_per_fold(shape) + fill_drain)
+        self._gemm_cache[(m, k, n)] = cycles
+        return cycles
 
     def utilization(self, shape: GemmShape) -> float:
         """Achieved MAC throughput relative to peak (diagnostic)."""

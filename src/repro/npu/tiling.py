@@ -19,6 +19,7 @@ before the step's compute phase — the implicit barrier of Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from math import ceil
 from typing import List, Optional, Sequence, Tuple
 
@@ -41,9 +42,14 @@ class TileStep:
         """Bytes this step's memory phase moves."""
         return sum(f.nbytes for f in self.fetches)
 
-    @property
+    @cached_property
     def signature(self) -> Tuple:
-        """Dedup key: identical signatures have identical timing class."""
+        """Dedup key: identical signatures have identical timing class.
+
+        Cached: the timing caches and the event-driven scheduler's quiet
+        probes read it on every step instance (``cached_property``
+        writes through ``__dict__``, which frozen dataclasses permit).
+        """
         return tuple(f.signature for f in self.fetches) + (
             self.compute.m,
             self.compute.k,

@@ -71,6 +71,13 @@ class TestDispatch:
         assert main(["run", "overhead"]) == 0
         assert "PRMB" in capsys.readouterr().out
 
+    def test_run_with_profile_prints_hot_spots(self, capsys):
+        assert main(["run", "table1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile: top 20 by cumulative time" in out
+        assert "cumulative" in out
+        assert "Baseline NPU configuration" in out
+
     def test_experiment_registry_covers_all_figures(self):
         for fig in ("fig6", "fig7", "fig8", "fig10", "fig11", "fig12a",
                     "fig12b", "fig13", "fig14", "fig15", "fig16", "tenants"):

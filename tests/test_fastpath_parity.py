@@ -282,6 +282,87 @@ class TestSimulatorParity:
         assert results[0].mmu_summary == results[1].mmu_summary
 
 
+class TestContendedPathParity:
+    """The contended batched path (non-trivial QoS policies) is
+    bit-identical to the reference loop: same BurstResults, counters,
+    channel state, TLB contents/LRU order and per-ASID occupancy."""
+
+    #: No-PRMB and merge-heavy design points, policied; includes path
+    #: caches with prmb_slots=0 so the fused no-PRMB run exercises its
+    #: TPreg/TPC fill/lookup branches.
+    CONTENDED_CONFIGS = [
+        baseline_iommu_config(),
+        neummu_config(),
+        MMUConfig(name="w2", n_walkers=2, prmb_slots=4),
+        MMUConfig(name="s1", n_walkers=8, prmb_slots=1),
+        MMUConfig(name="tiny_tlb", tlb_entries=4, n_walkers=4, prmb_slots=2),
+        MMUConfig(name="tpc0", n_walkers=16, prmb_slots=0, path_cache="tpc"),
+        MMUConfig(name="tpreg0", n_walkers=6, prmb_slots=0, path_cache="tpreg"),
+    ]
+
+    def run_both_policied(self, config, qos, schedule, w0=2.0):
+        out = []
+        for batched in (True, False):
+            from dataclasses import replace
+
+            mmu = MMU(replace(config, qos=qos), None)
+            mmu.register_context(0, build_table(), weight=w0)
+            other = PageTable()
+            other.map_range(BASE, N_PAGES * PAGE_SIZE_4K, first_pfn=500_000)
+            mmu.register_context(5, other, weight=1.0)
+            memory = MainMemory(MemoryConfig())
+            engine = TranslationEngine(mmu, memory, batched=batched)
+            results = [
+                engine.run_burst(burst, float(i * 7), asid)
+                for i, (asid, burst) in enumerate(schedule)
+            ]
+            mmu.drain()
+            out.append(
+                {
+                    "results": results,
+                    "summary": mmu.summary(),
+                    "channels": tuple(memory._channel_free),
+                    "mem": (memory.total_bytes, memory.total_accesses),
+                    "prmb": dict(mmu.pool.prmb_stats.__dict__),
+                    "pts": (mmu.pts.lookups, mmu.pts.hits, mmu.pts.in_flight),
+                    "tlb_sets": [list(s.items()) for s in mmu.tlb._sets],
+                    "occupancy": dict(mmu.tlb._asid_occupancy),
+                }
+            )
+        return out
+
+    @pytest.mark.parametrize("qos", ["static_partition", "weighted"])
+    @pytest.mark.parametrize(
+        "config", CONTENDED_CONFIGS, ids=lambda c: c.name
+    )
+    def test_policied_streams_bit_identical(self, config, qos):
+        txs_a = random_stream(38, 1500)
+        txs_b = streaming_stream(800) + random_stream(39, 700)
+        schedule = [(0, txs_a), (5, txs_b), (5, txs_a[:400]), (0, txs_b[:400])]
+        batched_state, reference_state = self.run_both_policied(
+            config, qos, schedule
+        )
+        assert batched_state == reference_state
+
+    @pytest.mark.parametrize("seed", [7, 69, 100])
+    def test_policied_iommu_random_seeds(self, seed):
+        """Extra seeds on the no-PRMB design point (the fused run)."""
+        txs_a = random_stream(seed, 1800)
+        txs_b = streaming_stream(900)
+        schedule = [(0, txs_a), (5, txs_b), (0, txs_b[:300])]
+        batched_state, reference_state = self.run_both_policied(
+            baseline_iommu_config(), "weighted", schedule, w0=3.0
+        )
+        assert batched_state == reference_state
+
+    def test_trivial_policy_dispatch_unchanged(self):
+        """full_share still routes through the historical batched path."""
+        mmu = MMU(neummu_config(), build_table())
+        engine = TranslationEngine(mmu, MainMemory())
+        assert engine._batchable()
+        assert mmu.share_policy.trivial
+
+
 class TestMemoryArithmeticParity:
     """The engine's inlined channel arithmetic IS MainMemory.access."""
 

@@ -733,8 +733,12 @@ class TestDefaultBitIdentity:
         sim = MultiTenantSimulator([tiny_workload()], neummu_config())
         assert sim.shared.engine._batchable()
 
-    def test_nontrivial_policy_forces_reference_path(self):
+    def test_nontrivial_policy_takes_contended_batched_path(self):
+        """Quota enforcement no longer forces the per-transaction
+        reference loop: the contended batched path covers it (and is
+        locked to the reference bit for bit by the parity suite)."""
         sim = MultiTenantSimulator(
             [tiny_workload()], neummu_config(), qos="static_partition"
         )
-        assert not sim.shared.engine._batchable()
+        assert sim.shared.engine._batchable()
+        assert not sim.shared.mmu.share_policy.trivial

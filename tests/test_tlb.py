@@ -143,3 +143,174 @@ def test_property_matches_reference_lru(capacity, ops):
             tlb.insert(key, key * 7)
             ref.insert(key, key * 7)
     assert tlb.occupancy == len(ref.data)
+
+
+# --------------------------------------------------------------------- #
+# policy-mode victim selection: mirrors vs the reference scan            #
+# --------------------------------------------------------------------- #
+
+
+class _ScanVictimTLB:
+    """Reference policied TLB with O(n) scanning victim selection.
+
+    This replicates the pre-mirror implementation: victims are found by
+    walking the set's OrderedDict in LRU order (self-victimization picks
+    the owner's first key; quota reclaim picks the first key of any
+    over-quota tenant; fallback is the set head).  The production TLB's
+    per-tenant recency mirrors must choose the *same* victims.
+    """
+
+    def __init__(self, entries, policy, associativity=None):
+        from repro.memory.address import ASID_SHIFT
+
+        self.shift = ASID_SHIFT
+        self.entries = entries
+        self.policy = policy
+        if associativity is None:
+            self.sets = [OrderedDict()]
+            self.mask = 0
+            self.ways = entries
+        else:
+            n_sets = entries // associativity
+            self.sets = [OrderedDict() for _ in range(n_sets)]
+            self.mask = n_sets - 1
+            self.ways = associativity
+        self.occ = {}
+
+    def lookup(self, vpn, asid=0):
+        key = vpn | (asid << self.shift)
+        entry_set = self.sets[key & self.mask]
+        pfn = entry_set.get(key)
+        if pfn is not None:
+            entry_set.move_to_end(key)
+        return pfn
+
+    def _victim(self, entry_set, owner=None, over_quota_first=False):
+        first = None
+        for key in entry_set:
+            if first is None:
+                first = key
+            key_asid = key >> self.shift
+            if owner is not None:
+                if key_asid == owner:
+                    return key
+                continue
+            if over_quota_first:
+                quota = self.policy.tlb_quota(key_asid, self.entries)
+                if quota is not None and self.occ.get(key_asid, 0) > quota:
+                    return key
+        return None if owner is not None else first
+
+    def insert(self, vpn, pfn, asid=0):
+        key = vpn | (asid << self.shift)
+        entry_set = self.sets[key & self.mask]
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            entry_set[key] = pfn
+            return
+        policy = self.policy
+        quota = policy.tlb_quota(asid, self.entries)
+        count = self.occ.get(asid, 0)
+        victim = None
+        if quota is not None and count >= quota:
+            borrow = (
+                policy.work_conserving
+                and len(entry_set) < self.ways
+                and sum(self.occ.values()) < self.entries
+            )
+            if not borrow:
+                victim = self._victim(entry_set, owner=asid)
+                if victim is None:
+                    return
+        if victim is None and len(entry_set) >= self.ways:
+            victim = self._victim(entry_set, over_quota_first=True)
+        if victim is not None:
+            del entry_set[victim]
+            v_asid = victim >> self.shift
+            self.occ[v_asid] = self.occ.get(v_asid, 1) - 1
+        entry_set[key] = pfn
+        self.occ[asid] = self.occ.get(asid, 0) + 1
+
+    def invalidate(self, vpn, asid=0):
+        key = vpn | (asid << self.shift)
+        entry_set = self.sets[key & self.mask]
+        if key in entry_set:
+            del entry_set[key]
+            self.occ[asid] = self.occ.get(asid, 1) - 1
+
+    def invalidate_asid(self, asid):
+        lo = asid << self.shift
+        hi = (asid + 1) << self.shift
+        for entry_set in self.sets:
+            for key in [k for k in entry_set if lo <= k < hi]:
+                del entry_set[key]
+        self.occ.pop(asid, None)
+
+
+policied_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "insert", "insert", "invalidate", "drop_asid"]),
+        st.integers(0, 23),  # vpn
+        st.integers(0, 2),  # asid
+    ),
+    max_size=300,
+)
+
+
+class TestPoliciedVictimMirrors:
+    """The O(1) mirror-based victim selection is bit-identical to the
+    historical O(n) scanning implementation."""
+
+    def _fuzz(self, kind, weights, ops, entries=8, associativity=None):
+        from repro.core.qos import make_share_policy
+
+        policy = make_share_policy(kind)
+        ref_policy = make_share_policy(kind)
+        for asid, weight in weights.items():
+            policy.register(asid, weight)
+            ref_policy.register(asid, weight)
+        tlb = TLB(entries, associativity=associativity, policy=policy)
+        ref = _ScanVictimTLB(entries, ref_policy, associativity=associativity)
+        for op, vpn, asid in ops:
+            if op == "lookup":
+                assert tlb.lookup(vpn, asid) == ref.lookup(vpn, asid)
+            elif op == "insert":
+                tlb.insert(vpn, vpn * 7 + asid, asid)
+                ref.insert(vpn, vpn * 7 + asid, asid)
+            elif op == "invalidate":
+                tlb.invalidate(vpn, asid)
+                ref.invalidate(vpn, asid)
+            else:
+                tlb.invalidate_asid(asid)
+                ref.invalidate_asid(asid)
+        assert [list(s.items()) for s in tlb._sets] == [
+            list(s.items()) for s in ref.sets
+        ]
+        for asid in weights:
+            assert tlb.occupancy_of(asid) == ref.occ.get(asid, 0)
+
+    @given(ops=policied_ops)
+    @settings(max_examples=120, deadline=None)
+    def test_static_partition_fully_associative(self, ops):
+        self._fuzz("static_partition", {0: 2.0, 1: 1.0, 2: 1.0}, ops)
+
+    @given(ops=policied_ops)
+    @settings(max_examples=120, deadline=None)
+    def test_weighted_fully_associative(self, ops):
+        self._fuzz("weighted", {0: 3.0, 1: 1.0, 2: 2.0}, ops)
+
+    @given(ops=policied_ops)
+    @settings(max_examples=120, deadline=None)
+    def test_static_partition_set_associative(self, ops):
+        self._fuzz(
+            "static_partition", {0: 1.0, 1: 1.0, 2: 1.0}, ops,
+            entries=8, associativity=2,
+        )
+
+    @given(ops=policied_ops)
+    @settings(max_examples=120, deadline=None)
+    def test_weighted_set_associative(self, ops):
+        self._fuzz(
+            "weighted", {0: 2.0, 1: 1.0, 2: 1.0}, ops,
+            entries=16, associativity=4,
+        )
