@@ -10,11 +10,17 @@ IOMMU/NeuMMU rows and the oracle rows is *translation* contention.
 ``weighted_quantum`` arbiter and checks the fairness invariants: Jain's
 index stays in (0, 1] and a weight-reserved tenant is never slower than
 under full sharing.
+
+``bench_paging_contention`` runs the multi-tenant demand-paging study: a
+heterogeneous tenant mix pages its tensors in over one shared migration
+fabric under all three share policies, checking exact byte conservation
+on the fabric (asserted inside the figure) and that every tenant's
+fabric share is a genuine fraction.
 """
 
 import os
 
-from repro.analysis import fairness, multi_tenant_contention
+from repro.analysis import fairness, multi_tenant_contention, paging_tenants
 
 from .common import emit, run_once
 
@@ -56,3 +62,26 @@ def bench_qos_fairness(benchmark):
             # The heavy tenant's (t0, weight 2) reservation buys latency:
             # never slower than under the full-share free-for-all.
             assert reserved[0] <= full[0] * 1.01, (config, policy)
+
+
+def bench_paging_contention(benchmark):
+    mix = "cnn,rnn,recsys" if os.environ.get("NEUMMU_FULL") else "rnn,recsys"
+    figure = run_once(benchmark, lambda: paging_tenants(mix=mix))
+    emit(figure)
+    by_cell = {}
+    for row in figure.rows:
+        config, policy, _ = row.label.split("/")
+        cell = by_cell.setdefault((config, policy), {"shares": [], "slow": []})
+        cell["shares"].append(row.values["fabric_share"])
+        cell["slow"].append(row.values["slowdown"])
+        # Every tenant genuinely paged (the mix's tensors all start
+        # unmapped) and the migration charge is visible.
+        assert row.values["faults"] > 0, row.label
+        assert row.values["migrated_mb"] > 0, row.label
+    for (config, policy), cell in by_cell.items():
+        # The fabric's byte accounting is exact (the figure asserts the
+        # integer conservation; the shares must therefore sum to 1).
+        assert abs(sum(cell["shares"]) - 1.0) < 1e-12, (config, policy)
+        # Sharing one fabric + MMU never beats the isolated paged run
+        # (small FAST-fidelity noise allowed).
+        assert all(s >= 0.99 for s in cell["slow"]), (config, policy)

@@ -10,6 +10,11 @@ and writes ``benchmarks/results/BENCH_perf.json``:
 * ``qos_sweep`` — the full 9-combo share-policy × arbitration sweep on
   the 8-walker baseline IOMMU (2 RNN-2 tenants, 2:1 weights): the
   multi-tenant contended path this repo's QoS studies live on.
+* ``demand_paging`` — one DLRM Figure 16 cell on the 8-walker IOMMU
+  plus a 2-tenant paged contention run through the memory-tier
+  subsystem (``repro.memory.tiering``): fault handling, migration-fabric
+  accounting and budget eviction on the shootdown path.  Recorded from
+  PR 5 onward (no earlier baseline exists for it).
 
 Each scenario reports wall-clock seconds, the number of translation
 requests it retired, and translations/sec — the throughput number to
@@ -117,10 +122,42 @@ def qos_sweep():
     return time.perf_counter() - started, requests
 
 
+def demand_paging():
+    """Demand-paged translation: one Fig. 16 cell + a paged 2-tenant run."""
+    from repro.core.mmu import baseline_iommu_config
+    from repro.memory.address import PAGE_SIZE_4K
+    from repro.npu.simulator import MultiTenantSimulator
+    from repro.sparse.demand_paging import DemandPagingConfig, demand_paging_cell
+    from repro.workloads.embedding import dlrm
+    from repro.workloads.registry import mix_factories
+
+    mb = 1024 * 1024
+    system = DemandPagingConfig(
+        batches=12, warm_batches=5, table_rows=200_000,
+        local_budget_bytes=48 * mb,
+    )
+    started = time.perf_counter()
+    cell = demand_paging_cell(
+        dlrm(), baseline_iommu_config(page_size=PAGE_SIZE_4K), 8, system
+    )
+    requests = cell.mmu_summary.requests
+    sim = MultiTenantSimulator(
+        [factory() for factory in mix_factories("rnn,recsys")],
+        baseline_iommu_config(),
+        qos="weighted",
+        arbitration="weighted_quantum",
+        weights=(2.0, 1.0),
+        memory_budgets=(32 * mb, 32 * mb),
+    )
+    requests += sim.run().mmu_summary.requests
+    return time.perf_counter() - started, requests
+
+
 SCENARIOS = (
     ("engine_fastpath", engine_fastpath),
     ("single_tenant", single_tenant),
     ("qos_sweep", qos_sweep),
+    ("demand_paging", demand_paging),
 )
 
 

@@ -18,7 +18,7 @@ from ..energy.accounting import energy_ratio, translation_energy
 from ..energy.cacti import neummu_overhead
 from ..memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
 from ..npu.config import NPUConfig
-from ..npu.simulator import NPUSimulator, run_multi_tenant
+from ..npu.simulator import MultiTenantSimulator, NPUSimulator, run_multi_tenant
 from ..npu.spatial import SpatialArrayModel
 from ..sparse.demand_paging import DemandPagingConfig, demand_paging_cell
 from ..sparse.recsys import TRANSPORTS, RecSysSystem
@@ -851,11 +851,12 @@ def multilevel_tlb_ablation(
 def multi_tenant_contention(
     workload: str = "CNN-1",
     batch: int = 1,
-    tenants: int = 2,
+    tenants: Optional[int] = None,
     arbitration: str = "round_robin",
     qos: str = "full_share",
     weights: Optional[Sequence[float]] = None,
     npu_config: Optional[NPUConfig] = None,
+    mix: Optional[str] = None,
 ) -> FigureResult:
     """Extension: N tenant models contending for one shared MMU.
 
@@ -868,20 +869,35 @@ def multi_tenant_contention(
     NeuMMU design points (plus the oracle, which isolates pure
     memory-bandwidth contention from translation contention).
 
+    ``mix`` replaces the N identical copies with a heterogeneous tenant
+    list resolved through the registry (``"cnn,rnn,recsys"`` — see
+    :func:`repro.workloads.registry.mix_factories`); each tenant's
+    slowdown is then measured against *its own* isolated run.
     ``qos``/``weights`` select the QoS share policy governing the shared
     structures (see :mod:`repro.core.qos`); the defaults reproduce the
     historical full-sharing run bit for bit.
     """
-    from ..workloads.registry import DenseWorkloadFactory
+    from ..workloads.registry import DenseWorkloadFactory, mix_factories
 
-    factory = DenseWorkloadFactory(workload, batch)
+    if mix is not None:
+        factories = mix_factories(mix, batch)
+        if tenants is not None and tenants != len(factories):
+            raise ValueError(
+                f"--tenants {tenants} does not match the {len(factories)}"
+                f"-tenant mix {mix!r}; drop --tenants or make them agree"
+            )
+        label = "+".join(f.name for f in factories)
+    else:
+        if tenants is None:
+            tenants = 2
+        if tenants <= 0:
+            raise ValueError("need at least one tenant")
+        factories = [DenseWorkloadFactory(workload, batch)] * tenants
+        label = f"{tenants} x {workload}"
     qualifier = arbitration if qos == "full_share" else f"{arbitration}, {qos}"
     fig = FigureResult(
         figure_id="tenants",
-        title=(
-            f"Shared-MMU contention: {tenants} x {workload}/b{batch:02d} "
-            f"({qualifier})"
-        ),
+        title=f"Shared-MMU contention: {label}/b{batch:02d} ({qualifier})",
         columns=[
             "shared_mcycles",
             "isolated_mcycles",
@@ -897,25 +913,30 @@ def multi_tenant_contention(
         ],
     )
     for config in (oracle_config(), baseline_iommu_config(), neummu_config()):
-        isolated = NPUSimulator(factory(), config, npu_config=npu_config).run()
+        isolated_by_name: Dict[str, float] = {}
+        for factory in factories:
+            if factory.name not in isolated_by_name:
+                isolated_by_name[factory.name] = NPUSimulator(
+                    factory(), config, npu_config=npu_config
+                ).run().total_cycles
         shared = run_multi_tenant(
-            factory,
+            factories,
             config,
-            tenants,
             npu_config=npu_config,
             arbitration=arbitration,
             qos=qos,
             weights=weights,
         )
         slowdowns = []
-        for tenant in shared.tenants:
+        for factory, tenant in zip(factories, shared.tenants):
             usage = tenant.usage
-            slowdown = tenant.total_cycles / isolated.total_cycles
+            iso_cycles = isolated_by_name[factory.name]
+            slowdown = tenant.total_cycles / iso_cycles
             slowdowns.append(slowdown)
             fig.add(
                 f"{config.name}/t{tenant.asid}",
                 shared_mcycles=tenant.total_cycles / 1e6,
-                isolated_mcycles=isolated.total_cycles / 1e6,
+                isolated_mcycles=iso_cycles / 1e6,
                 slowdown=slowdown,
                 tlb_hit_rate=usage.tlb_hit_rate,
                 merges=float(usage.merges),
@@ -1001,6 +1022,143 @@ def fairness(
                 f"{config.name}/{qos}: jain {index:.3f}, "
                 f"max slowdown {max(slowdowns):.3f}, "
                 f"makespan {shared.makespan_cycles / 1e6:.2f} Mcycles"
+            )
+    return fig
+
+
+def paging_tenants(
+    mix: str = "cnn,rnn,recsys",
+    batch: int = 1,
+    arbitration: str = "weighted_quantum",
+    weights: Optional[Sequence[float]] = None,
+    budgets_mb: Optional[Sequence[float]] = None,
+    tiering=None,
+    npu_config: Optional[NPUConfig] = None,
+) -> FigureResult:
+    """Extension: heterogeneous tenants demand-paging over one fabric.
+
+    The ROADMAP's multi-tenant demand-paging study: a heterogeneous
+    tenant mix (CNN + RNN + recsys by default, registry-resolved via
+    :func:`repro.workloads.registry.mix_factories`) runs demand-paged —
+    tensors unmapped until first touch, page moves streamed over one
+    shared :class:`~repro.memory.tiering.MigrationFabric`, per-tenant
+    local budgets evicting through the ASID-tagged shootdown path — and
+    the three QoS share policies govern the fabric's transfer slots
+    alongside the TLB/walker/PRMB quotas.  Each tenant's slowdown is its
+    shared paged run over its *isolated* paged run (same budget, private
+    fabric), so the figure isolates contention, not paging itself;
+    ``fabric_share`` is the tenant's exact fraction of migrated bytes.
+
+    Byte conservation on the fabric is asserted exactly: per-tenant
+    migrated bytes sum to the fabric total, every one a whole page.
+    """
+    from ..memory.tiering import LocalMemoryTier, MigrationFabric, TieringConfig
+    from ..sparse.numa import nvlink_link
+    from ..workloads.registry import mix_factories
+
+    MB = 1024 * 1024
+    factories = mix_factories(mix, batch)
+    n = len(factories)
+    tier_cfg = tiering if tiering is not None else TieringConfig()
+    if budgets_mb is not None:
+        if len(budgets_mb) != n:
+            raise ValueError(
+                f"got {len(budgets_mb)} budgets for the {n}-tenant mix "
+                f"{mix!r}; pass exactly one MB budget per tenant"
+            )
+        budgets = [int(b * MB) for b in budgets_mb]
+    else:
+        budgets = [tier_cfg.default_budget_bytes] * n
+    if weights is None:
+        # t0 heaviest, as in the fairness figure: the weighted rows show
+        # whether a fabric reservation buys the heavy tenant latency.
+        weights = tuple(float(n - i) for i in range(n))
+    npu = npu_config or NPUConfig()
+    mix_label = "+".join(f.name for f in factories)
+    fig = FigureResult(
+        figure_id="paging_tenants",
+        title=(
+            f"Multi-tenant demand paging: {mix_label}/b{batch:02d} over one "
+            f"migration fabric ({arbitration}, weights "
+            f"{'/'.join(f'{w:g}' for w in weights)})"
+        ),
+        columns=["slowdown", "faults", "migrated_mb", "fabric_share"],
+        notes=[
+            "slowdown = shared paged run / isolated paged run (same "
+            "budget, private fabric); fabric_share = tenant's exact "
+            "fraction of bytes migrated over the shared fabric",
+        ],
+    )
+    for config in (baseline_iommu_config(), neummu_config()):
+        isolated = []
+        for i, factory in enumerate(factories):
+            fabric = MigrationFabric(
+                nvlink_link(npu.interconnect), slots=tier_cfg.fabric_slots
+            )
+            tier = LocalMemoryTier(
+                fabric,
+                page_size=config.page_size,
+                fault_overhead_cycles=tier_cfg.fault_overhead_cycles,
+                eviction=tier_cfg.eviction,
+            )
+            isolated.append(
+                NPUSimulator(
+                    factory(),
+                    config,
+                    npu_config=npu_config,
+                    paging_tier=tier,
+                    memory_budget=budgets[i],
+                ).run()
+            )
+        for qos in SHARE_POLICIES:
+            sim = MultiTenantSimulator(
+                [factory() for factory in factories],
+                config,
+                npu_config=npu_config,
+                arbitration=arbitration,
+                qos=qos,
+                weights=weights,
+                paging=tier_cfg,
+                memory_budgets=budgets,
+            )
+            shared = sim.run()
+            tier = sim.paging
+            fabric = tier.fabric
+            per_tenant_bytes = {
+                asid: tier.migrated_bytes_of(asid) for asid in tier.tenants
+            }
+            # Exact conservation: every migrated byte is attributed to
+            # exactly one tenant, and every move is a whole page.
+            if sum(per_tenant_bytes.values()) != fabric.total_bytes:
+                raise AssertionError(
+                    f"fabric byte-conservation violation under {qos}: "
+                    f"{per_tenant_bytes} != {fabric.total_bytes}"
+                )
+            if fabric.total_bytes != fabric.total_migrations * config.page_size:
+                raise AssertionError(
+                    f"fabric moved partial pages under {qos}: "
+                    f"{fabric.total_bytes} bytes in "
+                    f"{fabric.total_migrations} migrations"
+                )
+            total_bytes = fabric.total_bytes or 1
+            slowdowns = []
+            for tenant, iso in zip(shared.tenants, isolated):
+                t_state = tier.tenants[tenant.asid]
+                t_bytes = per_tenant_bytes[tenant.asid]
+                slowdown = tenant.total_cycles / iso.total_cycles
+                slowdowns.append(slowdown)
+                fig.add(
+                    f"{config.name}/{qos}/t{tenant.asid}",
+                    slowdown=slowdown,
+                    faults=float(t_state.faults),
+                    migrated_mb=t_bytes / MB,
+                    fabric_share=t_bytes / total_bytes,
+                )
+            fig.notes.append(
+                f"{config.name}/{qos}: jain {jain_index(slowdowns):.3f}, "
+                f"max slowdown {max(slowdowns):.3f}, fabric "
+                f"{fabric.total_migrations} moves / "
+                f"{fabric.total_bytes / MB:.1f} MB (conserved exactly)"
             )
     return fig
 

@@ -44,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
     "large_pages": analysis.large_pages_dense,
     "tenants": analysis.multi_tenant_contention,
     "fairness": analysis.fairness,
+    "paging_tenants": analysis.paging_tenants,
     "spatial": analysis.spatial_npu,
     "prefetch": analysis.prefetch_ablation,
     "mltlb": analysis.multilevel_tlb_ablation,
@@ -81,6 +82,9 @@ _ARBITRATED = _accepting("arbitration")
 _QOS_AWARE = _accepting("qos")
 _WEIGHTED = _accepting("weights")
 
+#: Experiments that accept a heterogeneous tenant ``mix`` spec.
+_MIXED = _accepting("mix")
+
 
 def _validate_tenant_flags(args, errors: List[str]) -> None:
     """Collect actionable problems with the multi-tenant/QoS flags."""
@@ -88,10 +92,25 @@ def _validate_tenant_flags(args, errors: List[str]) -> None:
     weights = getattr(args, "weights", None)
     arbitration = getattr(args, "arbitration", None)
     qos = getattr(args, "qos", None)
+    mix = getattr(args, "mix", None)
+    mix_size: Optional[int] = None
     if tenants is not None and tenants <= 0:
         errors.append(
             f"--tenants must be a positive tenant count, got {tenants}"
         )
+    if mix is not None:
+        from .workloads.registry import mix_factories
+
+        try:
+            mix_size = len(mix_factories(mix))
+        except ValueError as exc:
+            errors.append(str(exc))
+        if mix_size is not None and tenants is not None and tenants != mix_size:
+            errors.append(
+                f"--tenants {tenants} does not match the {mix_size}-tenant "
+                f"mix {mix!r}; drop --tenants (the mix sets the count) or "
+                f"make them agree"
+            )
     if arbitration is not None and arbitration not in ARBITRATION_POLICIES:
         errors.append(
             f"unknown arbitration policy {arbitration!r}; "
@@ -108,10 +127,11 @@ def _validate_tenant_flags(args, errors: List[str]) -> None:
             errors.append(
                 f"--weights must all be positive, got {bad[0]:g}"
             )
-        expected = tenants
+        expected = tenants if tenants is not None else mix_size
         if expected is None:
             errors.append(
-                "--weights requires --tenants so each weight maps to a tenant"
+                "--weights requires --tenants (or --mix) so each weight "
+                "maps to a tenant"
             )
         elif expected > 0 and len(weights) != expected:
             errors.append(
@@ -194,6 +214,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tenant count for the multi-tenant contention experiments",
     )
+    run.add_argument(
+        "--mix",
+        default=None,
+        help="heterogeneous tenant mix for the shared-MMU experiments, "
+        "comma-separated registry names or aliases "
+        "(e.g. cnn,rnn,recsys)",
+    )
     _add_qos_flags(run)
     _add_profile_flag(run)
 
@@ -249,6 +276,7 @@ def _run_experiment(
     arbitration: Optional[str] = None,
     qos: Optional[str] = None,
     weights: Optional[Sequence[float]] = None,
+    mix: Optional[str] = None,
 ) -> FigureResult:
     func = EXPERIMENTS[name]
     kwargs = {}
@@ -258,6 +286,8 @@ def _run_experiment(
         kwargs["runner"] = runner
     if tenants is not None and name in _TENANTED:
         kwargs["tenants"] = tenants
+    if mix is not None and name in _MIXED:
+        kwargs["mix"] = mix
     if arbitration is not None and name in _ARBITRATED:
         kwargs["arbitration"] = arbitration
     if qos is not None and name in _QOS_AWARE:
@@ -313,6 +343,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # not accept ("run all" applies each flag where it fits).
         checks = (
             ("--tenants", args.tenants, _TENANTED),
+            ("--mix", args.mix, _MIXED),
             ("--arbitration", args.arbitration, _ARBITRATED),
             ("--qos", args.qos, _QOS_AWARE),
             ("--weights", args.weights, _WEIGHTED),
@@ -348,6 +379,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             arbitration=args.arbitration,
             qos=args.qos,
             weights=args.weights,
+            mix=args.mix,
         )
     return 0
 

@@ -58,11 +58,14 @@ from .mmu import MMU, TranslationFault
 #: A DMA transaction: (virtual address, size in bytes).
 Transaction = Tuple[int, int]
 
-#: Demand-paging hook: ``(vpn, fault_cycle) -> resolved_cycle``.  The hook
-#: must install the mapping (and shoot down the stale translation, e.g.
+#: Demand-paging hook: ``(vpn, fault_cycle, asid) -> resolved_cycle``.  The
+#: hook must install the mapping (and shoot down the stale translation, e.g.
 #: via :meth:`MMU.shootdown`) before returning; the engine retries the
-#: translation at ``resolved_cycle``.
-FaultHandler = Callable[[int, float], float]
+#: translation at ``resolved_cycle``.  The first-class implementation is
+#: :meth:`repro.memory.tiering.LocalMemoryTier.handle_fault`, which routes
+#: the page move through the shared migration fabric and the ASID-tagged
+#: shootdown path.
+FaultHandler = Callable[[int, float, int], float]
 
 
 def _run_bounds(transactions, i, n, vpn, vpn_shift, meta, rc):
@@ -223,7 +226,7 @@ class TranslationEngine:
                 except TranslationFault:
                     if fault_handler is None:
                         raise
-                    resolved = fault_handler(vpn, cycle)
+                    resolved = fault_handler(vpn, cycle, asid)
                     stall += resolved - cycle
                     cycle = resolved
                     process(cycle)
@@ -539,7 +542,7 @@ class TranslationEngine:
                 except TranslationFault:
                     if fault_handler is None:
                         raise
-                    resolved = fault_handler(vpn, cycle)
+                    resolved = fault_handler(vpn, cycle, asid)
                     # The handler may have migrated/remapped pages; drop
                     # the memoized same-page-run metadata so the batch
                     # logic re-derives it against post-fault state.
@@ -1294,7 +1297,7 @@ class TranslationEngine:
                 except TranslationFault:
                     if fault_handler is None:
                         raise
-                    resolved = fault_handler(vpn, cycle)
+                    resolved = fault_handler(vpn, cycle, asid)
                     run_vpn = -1
                     run_end = 0
                     stall += resolved - cycle

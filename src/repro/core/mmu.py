@@ -193,6 +193,11 @@ class MMU:
         #: the stale PFN.  Keyed by walker id so a *fresh* post-shootdown
         #: walk for the same page fills normally.
         self._poisoned_walkers: set = set()
+        #: Optional demand-paged memory tier
+        #: (:class:`~repro.memory.tiering.LocalMemoryTier`) whose fault
+        #: handler drives page migration through this MMU's shootdown
+        #: path.  Set by :meth:`LocalMemoryTier.bind`.
+        self.paging_tier = None
         self.stats = TranslationStats()
         self._vpn_shift = page_offset_bits(config.page_size)
         self._tlb_latency = config.tlb_hit_latency
@@ -636,6 +641,22 @@ class SharedMMU:
     def share_policy(self) -> SharePolicy:
         """The QoS share policy every shared structure consults."""
         return self.mmu.share_policy
+
+    @property
+    def paging_tier(self):
+        """The attached demand-paged memory tier (None without paging)."""
+        return self.mmu.paging_tier
+
+    def attach_paging(self, tier) -> None:
+        """Wire a :class:`~repro.memory.tiering.LocalMemoryTier` in.
+
+        Binds the tier to this MMU (evictions route through the
+        ASID-tagged shootdown path) and installs its fault handler on
+        the shared engine, so every tenant's page faults migrate through
+        the one shared fabric.  Idempotent for the same tier.
+        """
+        tier.bind(self.mmu)
+        self.engine.fault_handler = tier.handle_fault
 
     @property
     def contention_epoch(self) -> int:

@@ -10,8 +10,9 @@ Heterogeneous Systems*; Picorel et al., *Near-Memory Address Translation*),
 so this module turns it into one pluggable abstraction with two halves:
 
 * :class:`SharePolicy` — per-resource occupancy quotas per ASID.  Every
-  shared translation structure (TLB capacity/ways, walker pool, PRMB merge
-  slots) consults the policy instead of assuming full sharing:
+  shared structure (TLB capacity/ways, walker pool, PRMB merge slots, and
+  the demand-paging :class:`~repro.memory.tiering.MigrationFabric`'s
+  transfer slots) consults the policy instead of assuming full sharing:
 
   - ``full_share`` — no quotas; bit-identical to the pre-QoS engine.
   - ``static_partition`` — weight-proportional *hard* quotas: a tenant can
@@ -159,6 +160,12 @@ class SharePolicy:
     def prmb_quota(self, asid: int, total_slots: int) -> Optional[int]:
         """Max merged requests ``asid`` may park (None = unlimited)."""
         return self.quota(asid, total_slots)
+
+    def fabric_quota(self, asid: int, slots: int) -> Optional[int]:
+        """Max concurrent page migrations ``asid`` may hold in flight on
+        the shared :class:`~repro.memory.tiering.MigrationFabric`
+        (None = unlimited)."""
+        return self.quota(asid, slots)
 
     # -- event horizon -------------------------------------------------- #
 

@@ -3,7 +3,10 @@
 This package implements everything the MMU models in :mod:`repro.core`
 translate against — the functional x86-64 4-level page table shared between
 CPU and NPU (Section II-B of the paper), tensor-to-linear-memory layout,
-and the fixed-latency bandwidth-limited memory system of Table I.
+the fixed-latency bandwidth-limited memory system of Table I, and the
+demand-paged memory tier (:mod:`repro.memory.tiering`: per-ASID residency
+budgets over a shared migration fabric, Section VI-A promoted to a
+subsystem).
 """
 
 from .address import (
@@ -32,10 +35,24 @@ from .allocator import AddressSpace, FrameAllocator, OutOfMemory, Segment
 from .dram import MainMemory, MemoryConfig, bandwidth_bound_cycles
 from .layout import TensorLayout, coalesce_extents, extents_total_bytes
 from .page_table import PageFault, PageTable, WalkResult, WalkStep
+from .tiering import (
+    EVICTION_POLICIES,
+    FabricUsage,
+    LocalMemoryTier,
+    MigrationFabric,
+    TieringConfig,
+    TierTenant,
+)
 
 __all__ = [
     "ENTRIES_PER_NODE",
+    "EVICTION_POLICIES",
+    "FabricUsage",
     "LEVEL_COVERAGE",
+    "LocalMemoryTier",
+    "MigrationFabric",
+    "TieringConfig",
+    "TierTenant",
     "PAGE_SIZE_2M",
     "PAGE_SIZE_4K",
     "PAGE_TABLE_LEVELS",

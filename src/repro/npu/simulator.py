@@ -45,6 +45,7 @@ from ..core.stats import RunSummary
 from ..memory.allocator import AddressSpace
 from ..memory.dram import MainMemory
 from ..memory.layout import TensorLayout
+from ..memory.tiering import LocalMemoryTier, MigrationFabric, TieringConfig
 from .config import NPUConfig
 from .dma import DMAEngine, PageDivergence, distinct_pages
 from .systolic import SystolicArrayModel
@@ -146,6 +147,8 @@ class NPUSimulator:
         memory_bytes: int = 64 * 1024**3,
         shared_mmu: Optional[SharedMMU] = None,
         asid: int = 0,
+        paging_tier: Optional[LocalMemoryTier] = None,
+        memory_budget: Optional[int] = None,
     ):
         self.workload = workload
         self.mmu_config = mmu_config
@@ -156,6 +159,11 @@ class NPUSimulator:
         self.timeline_window = timeline_window
         self.trace_va = trace_va
         self.asid = asid
+        #: Demand-paged mode: tensors are reserved but unmapped, and first
+        #: touch faults through the tier's migration fabric
+        #: (:mod:`repro.memory.tiering`).  ``memory_budget`` bounds this
+        #: tenant's local residency (the tier default when None).
+        self._paging = paging_tier
 
         self.address_space = AddressSpace(
             memory_bytes=memory_bytes, page_size=mmu_config.page_size
@@ -177,11 +185,20 @@ class NPUSimulator:
             self.mmu = shared_mmu.mmu
             self.engine = shared_mmu.engine
             shared_mmu.add_tenant(asid, self.address_space.page_table)
+            if paging_tier is not None:
+                shared_mmu.attach_paging(paging_tier)
         else:
             self.memory = MainMemory(self.npu_config.memory)
             self.mmu = MMU(mmu_config, self.address_space.page_table)
             self.engine = TranslationEngine(
                 self.mmu, self.memory, timeline_window=timeline_window
+            )
+            if paging_tier is not None:
+                paging_tier.bind(self.mmu)
+                self.engine.fault_handler = paging_tier.handle_fault
+        if paging_tier is not None:
+            paging_tier.register_tenant(
+                asid, self.address_space, memory_budget
             )
         self._schedules = self._build_schedules()
 
@@ -190,8 +207,13 @@ class NPUSimulator:
     # ------------------------------------------------------------------ #
 
     def _build_schedules(self) -> List[LayerSchedule]:
-        """Allocate tensors and plan every layer."""
+        """Allocate tensors and plan every layer.
+
+        In demand-paged mode tensors are reserved but left unmapped —
+        first touch faults and migrates through the paging tier.
+        """
         elem = self.npu_config.elem_bytes
+        populate = self._paging is None
         schedules: List[LayerSchedule] = []
         for layer in self.workload.layers:
             layouts: Dict[str, TensorLayout] = {}
@@ -199,7 +221,9 @@ class NPUSimulator:
                 nbytes = elem
                 for d in shape:
                     nbytes *= d
-                seg = self.address_space.alloc_segment(f"{layer.name}.{role}", nbytes)
+                seg = self.address_space.alloc_segment(
+                    f"{layer.name}.{role}", nbytes, populate=populate
+                )
                 layouts[role] = TensorLayout(
                     name=f"{layer.name}.{role}", base_va=seg.va, shape=shape,
                     elem_bytes=elem,
@@ -490,9 +514,20 @@ class _TenantRun:
 
         Returns the number of steps executed (0 when the next step must
         interact, the run is finished, or fidelity is EXACT).
+
+        Migration completions are interaction points: while the paging
+        tier's fabric has a migration in flight past this run's clock,
+        no stretch is hoisted (the next step simulates, observing the
+        fabric/channel state the migration leaves behind).  An idle
+        fabric — no tenant faulting — skips the check's cost entirely,
+        so fault-free runs batch quiet stretches bit-identically to the
+        pre-paging scheduler.
         """
         sim = self.sim
         if sim.fidelity is not Fidelity.FAST or self.done:
+            return 0
+        paging = sim._paging
+        if paging is not None and paging.fabric.busy_beyond(self.clock):
             return 0
         shared = sim._shared
         if (
@@ -558,6 +593,15 @@ class MultiTenantSimulator:
       weight-proportional translation-slot quanta).
     * ``weights`` (one positive float per tenant, default all-equal)
       feeds both the share policy's quotas and the quantum arbiter.
+    * ``paging`` / ``memory_budgets`` enable the demand-paged memory
+      tier (:mod:`repro.memory.tiering`): each tenant's tensors are
+      reserved but unmapped, first touch faults and migrates the page
+      over one shared :class:`~repro.memory.tiering.MigrationFabric`
+      (slot quotas governed by the same share policy), and per-tenant
+      local budgets force evictions through the ASID-tagged shootdown
+      path.  ``memory_budgets`` is one byte budget per tenant; ``paging``
+      a :class:`~repro.memory.tiering.TieringConfig` (defaults apply
+      when only ``memory_budgets`` is given).
 
     The defaults (``full_share`` + ``round_robin``) are bit-identical to
     the pre-QoS engine.
@@ -576,6 +620,8 @@ class MultiTenantSimulator:
         qos: Optional[str] = None,
         weights: Optional[Sequence[float]] = None,
         quantum: int = 2048,
+        paging: Optional[TieringConfig] = None,
+        memory_budgets: Optional[Sequence[int]] = None,
     ):
         if not workloads:
             raise ValueError("need at least one tenant workload")
@@ -610,6 +656,41 @@ class MultiTenantSimulator:
             MainMemory(self.npu_config.memory),
             share_policy=make_share_policy(self.qos),
         )
+        self.paging: Optional[LocalMemoryTier] = None
+        budgets: Sequence[Optional[int]] = [None] * len(workloads)
+        if paging is not None or memory_budgets is not None:
+            tier_cfg = paging if paging is not None else TieringConfig()
+            if memory_budgets is not None:
+                if len(memory_budgets) != len(workloads):
+                    raise ValueError(
+                        f"got {len(memory_budgets)} memory budgets for "
+                        f"{len(workloads)} tenants; pass exactly one "
+                        f"positive byte budget per tenant"
+                    )
+                bad = [b for b in memory_budgets if b <= 0]
+                if bad:
+                    raise ValueError(
+                        f"tenant memory budgets must all be positive, "
+                        f"got {bad[0]}"
+                    )
+                budgets = list(memory_budgets)
+            else:
+                budgets = [tier_cfg.default_budget_bytes] * len(workloads)
+            # Deferred: repro.sparse imports this module at package level.
+            from ..sparse.numa import nvlink_link
+
+            fabric = MigrationFabric(
+                nvlink_link(self.npu_config.interconnect),
+                slots=tier_cfg.fabric_slots,
+                policy=self.shared.share_policy,
+            )
+            self.paging = LocalMemoryTier(
+                fabric,
+                page_size=mmu_config.page_size,
+                fault_overhead_cycles=tier_cfg.fault_overhead_cycles,
+                eviction=tier_cfg.eviction,
+            )
+            self.shared.attach_paging(self.paging)
         self.tenants = [
             NPUSimulator(
                 workload,
@@ -621,6 +702,8 @@ class MultiTenantSimulator:
                 memory_bytes=memory_bytes,
                 shared_mmu=self.shared,
                 asid=asid,
+                paging_tier=self.paging,
+                memory_budget=budgets[asid],
             )
             for asid, workload in enumerate(workloads)
         ]
@@ -667,19 +750,43 @@ class MultiTenantSimulator:
 def run_multi_tenant(
     workload_factory,
     mmu_config: MMUConfig,
-    n_tenants: int,
+    n_tenants: Optional[int] = None,
     npu_config: Optional[NPUConfig] = None,
     **kwargs,
 ) -> MultiTenantResult:
-    """Run ``n_tenants`` copies of one workload on a shared MMU.
+    """Run one tenant workload per context on a shared MMU.
 
-    ``workload_factory`` is called once per tenant so each context gets a
-    fresh workload instance backed by its own address space — the
-    homogeneous-tenant serving scenario.
+    Two forms:
+
+    * homogeneous — ``workload_factory`` is a zero-arg callable, invoked
+      ``n_tenants`` times so each context gets a fresh workload instance
+      backed by its own address space (the original serving scenario);
+    * heterogeneous — ``workload_factory`` is a *sequence* of distinct
+      workloads (or zero-arg factories, called once each), e.g. the
+      CNN + RNN + recsys mixes of
+      :func:`repro.workloads.registry.mix_factories`.  ``n_tenants``,
+      when given, must match the sequence length.
     """
-    if n_tenants <= 0:
-        raise ValueError("need at least one tenant")
-    workloads = [workload_factory() for _ in range(n_tenants)]
+    if callable(workload_factory):
+        if n_tenants is None:
+            raise ValueError(
+                "n_tenants is required when passing a single workload factory"
+            )
+        if n_tenants <= 0:
+            raise ValueError("need at least one tenant")
+        workloads = [workload_factory() for _ in range(n_tenants)]
+    else:
+        workloads = [
+            item() if callable(item) else item for item in workload_factory
+        ]
+        if not workloads:
+            raise ValueError("need at least one tenant workload")
+        if n_tenants is not None and n_tenants != len(workloads):
+            raise ValueError(
+                f"n_tenants={n_tenants} does not match the "
+                f"{len(workloads)} workloads passed; drop n_tenants or "
+                f"pass exactly one workload per tenant"
+            )
     sim = MultiTenantSimulator(workloads, mmu_config, npu_config, **kwargs)
     return sim.run()
 

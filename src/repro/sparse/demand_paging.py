@@ -14,10 +14,13 @@ then retries the access locally (Section VI-A).  The experiment's levers:
   gather and the (dense) MLP phases, while NeuMMU tracks the oracle.
 
 The embedding gather runs through the real
-:class:`~repro.core.engine.TranslationEngine` with a fault handler that
-charges migration cost and installs mappings; popularity-skewed (Zipfian)
-lookups give migrated hot pages genuine reuse; a bounded local-memory
-budget forces LRU eviction (thrash) when migrations outpace reuse.
+:class:`~repro.core.engine.TranslationEngine` driven by the first-class
+memory-tier subsystem (:mod:`repro.memory.tiering`): a
+:class:`~repro.memory.tiering.LocalMemoryTier` tracks residency against
+the local budget and a :class:`~repro.memory.tiering.MigrationFabric`
+charges each page move; popularity-skewed (Zipfian) lookups give migrated
+hot pages genuine reuse; the bounded budget forces eviction (thrash) when
+migrations outpace reuse.
 
 Everything is normalized against the 4 KB-page oracular MMU, matching the
 paper's presentation.
@@ -25,7 +28,6 @@ paper's presentation.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -35,6 +37,7 @@ from ..core.stats import RunSummary
 from ..memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K, page_offset_bits
 from ..memory.allocator import AddressSpace, Segment
 from ..memory.dram import MainMemory
+from ..memory.tiering import LocalMemoryTier, MigrationFabric
 from ..npu.config import NPUConfig
 from ..npu.simulator import NPUSimulator, run_workload
 from ..workloads.cnn import Workload
@@ -126,63 +129,53 @@ class DemandPagingSimulator:
 
         self.mmu = MMU(mmu_config, self.space.page_table)
         self.memory = MainMemory(self.npu_config.memory)
+        # The first-class paging tier: residency + budget + eviction live
+        # in repro.memory.tiering; this simulator is its single tenant
+        # (ASID 0) on a one-lane fabric.  Faults and evictions route
+        # through MMU.shootdown, so no cached translation can ever serve
+        # a stale remote PFN; the engine drops its batched-run memo on
+        # every fault for the same reason.
+        self.fabric = MigrationFabric(self._link, slots=1)
+        self.tier = LocalMemoryTier(
+            self.fabric,
+            page_size=self.page_size,
+            fault_overhead_cycles=self.system.fault_overhead_cycles,
+        )
+        self.tier.bind(self.mmu)
+        self._tenant = self.tier.register_tenant(
+            0, self.space, self.system.local_budget_bytes
+        )
         self.engine = TranslationEngine(
-            self.mmu, self.memory, fault_handler=self._handle_fault
+            self.mmu, self.memory, fault_handler=self.tier.handle_fault
         )
         self.sampler = ZipfSampler(self.system.zipf_s, seed=self.system.seed)
 
-        #: LRU of migrated remote pages: vpn -> page bytes.
-        self._resident: "OrderedDict[int, int]" = OrderedDict()
-        self._resident_bytes = 0
-        self.faults = 0
-        self.evictions = 0
-        self.migrated_bytes = 0
-        self._migration_penalty = 0.0
-
     # ------------------------------------------------------------------ #
-    # fault path                                                         #
+    # tier views (historical attribute names)                            #
     # ------------------------------------------------------------------ #
 
-    def _handle_fault(self, vpn: int, cycle: float) -> float:
-        """Migrate the faulting page from its remote owner; returns the
-        cycle at which the retried translation may proceed."""
-        va = vpn << self._vpn_shift
-        base = va & ~(self.page_size - 1)
-        self.space.touch(base, self.page_size)
-        # The migrated page now maps to a *new* local frame: shoot down
-        # every cached translation (memoized walk + TLB hierarchy) so no
-        # path can ever serve the stale remote PFN.  The engine drops its
-        # batched-run memo on every fault for the same reason.
-        self.mmu.shootdown(vpn)
+    @property
+    def faults(self) -> int:
+        """Page faults taken so far."""
+        return self._tenant.faults
 
-        transfer = self._link.bulk_transfer_cycles(self.page_size)
-        resolved = cycle + self.system.fault_overhead_cycles + transfer
-        self.faults += 1
-        self.migrated_bytes += self.page_size
+    @property
+    def evictions(self) -> int:
+        """Budget evictions performed so far."""
+        return self._tenant.evictions
 
-        self._resident[vpn] = self.page_size
-        self._resident_bytes += self.page_size
-        self._evict_over_budget()
-        return resolved
+    @property
+    def migrated_bytes(self) -> int:
+        """Bytes migrated over the fabric so far."""
+        return self.tier.migrated_bytes_of(0)
 
-    def _evict_over_budget(self) -> None:
-        """LRU-evict migrated pages past the local budget."""
-        pts = self.mmu.pts
-        while self._resident_bytes > self.system.local_budget_bytes:
-            evicted = None
-            for vpn in self._resident:
-                # Never evict a page whose walk is currently in flight.
-                if pts is None or pts.peek(vpn) is None:
-                    evicted = vpn
-                    break
-            if evicted is None:
-                break
-            size = self._resident.pop(evicted)
-            self._resident_bytes -= size
-            base = evicted << self._vpn_shift
-            self.space.page_table.unmap_page(base, self.page_size)
-            self.mmu.shootdown(evicted)
-            self.evictions += 1
+    @property
+    def _resident(self):
+        return self._tenant.resident
+
+    @property
+    def _resident_bytes(self) -> int:
+        return self._tenant.resident_bytes
 
     # ------------------------------------------------------------------ #
     # gather                                                             #

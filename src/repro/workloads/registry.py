@@ -4,12 +4,19 @@ Section II-C: CNN-1/2/3 are AlexNet/GoogLeNet/ResNet; RNN-1 is a GEMV-based
 RNN and RNN-2/3 are LSTMs (DeepBench).  Batch sizes b01/b04/b08 match the
 paper's inference study; Section VI-C's large-batch sensitivity uses 32/64/128
 on each network's *common layer* (see :func:`common_layer_workload`).
+
+Beyond the dense suite, RECSYS-1/2 are the MLP towers of DLRM/NCF
+(Section III-A's recommendation models) packaged as simulator workloads,
+so heterogeneous tenant mixes — the ROADMAP's CNN + RNN + recsys QoS
+studies — resolve entirely through this registry:
+:func:`mix_factories` turns a spec like ``"cnn,rnn,recsys"`` into one
+picklable factory per tenant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence, Union
 
 from .cnn import Workload, alexnet, googlenet, resnet50
 from .layers import ConvLayer, DenseLayer, RecurrentLayer
@@ -74,6 +81,107 @@ def dense_suite(batches=DENSE_BATCHES) -> List[Workload]:
         for name, factory in DENSE_WORKLOADS.items()
         for batch in batches
     ]
+
+
+# --------------------------------------------------------------------- #
+# recsys tenants + heterogeneous mixes                                   #
+# --------------------------------------------------------------------- #
+
+
+def recsys_mlp(name: str = "RECSYS-1", batch: int = 1) -> Workload:
+    """The dense (MLP) phase of a recommendation model as a workload.
+
+    The embedding gather lives in :mod:`repro.sparse` (it is a raw DMA
+    stream, not a tile pipeline); the MLP towers are what a recsys tenant
+    contends with on a shared MMU — exactly the dense phase Figure 16's
+    per-batch breakdown simulates.
+    """
+    from .embedding import dlrm, ncf  # deferred: embedding pulls in numpy
+
+    models = {"RECSYS-1": dlrm, "RECSYS-2": ncf}
+    try:
+        model = models[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown recsys workload {name!r}; choose from {sorted(models)}"
+        ) from None
+    layers = []
+    if model.bottom_mlp is not None:
+        for i, (in_w, out_w) in enumerate(model.bottom_mlp.layer_dims):
+            layers.append(DenseLayer(f"bot{i}", batch, in_w, out_w))
+    for i, (in_w, out_w) in enumerate(model.top_mlp.layer_dims):
+        layers.append(DenseLayer(f"top{i}", batch, in_w, out_w))
+    return Workload(
+        name=f"{model.name.lower()}_mlp_b{batch:02d}",
+        batch=batch,
+        layers=tuple(layers),
+    )
+
+
+#: Recsys tenant ids resolvable alongside the dense suite.
+RECSYS_WORKLOADS = ("RECSYS-1", "RECSYS-2")
+
+#: Mix shorthand -> canonical registry id (``neummu run tenants --mix``).
+MIX_ALIASES: Dict[str, str] = {
+    "cnn": "CNN-1",
+    "rnn": "RNN-2",
+    "recsys": "RECSYS-1",
+}
+
+
+def resolve_workload_name(token: str) -> str:
+    """Canonical registry id for one mix token.
+
+    Accepts the shorthand aliases (``cnn``/``rnn``/``recsys``) and every
+    dense or recsys registry id, case-insensitively.  Raises
+    :class:`ValueError` with the full menu for anything else.
+    """
+    token = token.strip()
+    lowered = token.lower()
+    if lowered in MIX_ALIASES:
+        return MIX_ALIASES[lowered]
+    upper = token.upper()
+    if upper in DENSE_WORKLOADS or upper in RECSYS_WORKLOADS:
+        return upper
+    valid = sorted(MIX_ALIASES) + sorted(DENSE_WORKLOADS) + list(RECSYS_WORKLOADS)
+    raise ValueError(
+        f"unknown workload {token!r} in tenant mix; "
+        f"choose from {', '.join(valid)}"
+    )
+
+
+@dataclass(frozen=True)
+class MixWorkloadFactory:
+    """Picklable zero-arg factory for any registry workload (dense or
+    recsys) — one tenant of a heterogeneous mix."""
+
+    name: str
+    batch: int = 1
+
+    def __call__(self) -> Workload:
+        if self.name in RECSYS_WORKLOADS:
+            return recsys_mlp(self.name, self.batch)
+        return dense_workload(self.name, self.batch)
+
+
+def mix_factories(
+    mix: Union[str, Sequence[str]], batch: int = 1
+) -> List[MixWorkloadFactory]:
+    """Resolve a tenant-mix spec into one workload factory per tenant.
+
+    ``mix`` is a comma-separated string (``"cnn,rnn,recsys"``) or a
+    sequence of tokens; each token resolves via
+    :func:`resolve_workload_name`.  Raises :class:`ValueError` for empty
+    mixes or unknown tokens.
+    """
+    tokens = mix.split(",") if isinstance(mix, str) else list(mix)
+    tokens = [t for t in (token.strip() for token in tokens) if t]
+    if not tokens:
+        raise ValueError(
+            "tenant mix is empty; pass at least one workload, "
+            "e.g. --mix cnn,rnn,recsys"
+        )
+    return [MixWorkloadFactory(resolve_workload_name(t), batch) for t in tokens]
 
 
 #: Representative "common layer" per network for the large-batch

@@ -40,6 +40,14 @@ class TestParser:
         )
         assert args.qos == "static_partition"
 
+    def test_mix_flag(self):
+        args = _build_parser().parse_args(
+            ["run", "tenants", "--mix", "cnn,rnn,recsys"]
+        )
+        assert args.mix == "cnn,rnn,recsys"
+        args = _build_parser().parse_args(["run", "paging_tenants"])
+        assert args.mix is None
+
     def test_compare_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["compare", "CNN-9"])
@@ -60,6 +68,26 @@ class TestDispatch:
     def test_unknown_experiment_errors(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_mix_token(self, capsys):
+        assert main(["run", "tenants", "--mix", "cnn,bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'bogus'" in err
+        assert "RECSYS-1" in err  # the menu is actionable
+
+    def test_run_rejects_mix_tenant_mismatch(self, capsys):
+        assert main(["run", "tenants", "--mix", "rnn,recsys", "--tenants", "3"]) == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_run_rejects_mix_on_non_mixed_experiment(self, capsys):
+        assert main(["run", "fig8", "--mix", "cnn"]) == 2
+        assert "--mix" in capsys.readouterr().err
+
+    def test_mix_sets_the_weight_count(self, capsys):
+        assert main(
+            ["run", "tenants", "--mix", "rnn,recsys", "--weights", "1", "2", "3"]
+        ) == 2
+        assert "got 3 weights for 2 tenants" in capsys.readouterr().err
 
     def test_run_static_experiment(self, capsys, tmp_path):
         assert main(["run", "table1", "--out", str(tmp_path)]) == 0

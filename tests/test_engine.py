@@ -169,18 +169,18 @@ class TestFaultHandling:
         mmu = MMU(MMUConfig(n_walkers=8), table)
         handled = []
 
-        def handler(vpn, cycle):
+        def handler(vpn, cycle, asid):
             va = vpn << 12
             table.map_page(va, pfn=999)
             mmu.resolver.invalidate(vpn)
-            handled.append(vpn)
+            handled.append((vpn, asid))
             return cycle + 1000.0  # migration cost
 
         memory = MainMemory()
         engine = TranslationEngine(mmu, memory, fault_handler=handler)
         missing = BASE + 5 * PAGE_SIZE_4K
         result = engine.run_burst([(missing, 256)], 0.0)
-        assert handled == [missing >> 12]
+        assert handled == [(missing >> 12, 0)]
         # 1000 fault + 400 walk + transfer + latency.
         assert result.data_end_cycle == pytest.approx(1400 + 256 / 75 + 100)
         assert result.stall_cycles == pytest.approx(1000.0)
@@ -191,7 +191,7 @@ class TestFaultHandling:
         table.map_range(BASE, PAGE_SIZE_4K, first_pfn=10)
         mmu = MMU(oracle_config(), table)
 
-        def handler(vpn, cycle):
+        def handler(vpn, cycle, asid):
             table.map_page(vpn << 12, pfn=999)
             mmu.resolver.invalidate(vpn)
             return cycle + 1000.0

@@ -162,3 +162,33 @@ class TestSparseResults:
         assert neummu_4k > 0.85
         assert iommu_4k < 0.6
         assert neummu_2m < 0.5
+
+
+class TestHeterogeneousTenants:
+    def test_tenants_mix_measures_each_tenant_against_itself(self):
+        from repro.analysis import multi_tenant_contention
+
+        fig = multi_tenant_contention(mix="recsys,RECSYS-2")
+        labels = [row.label for row in fig.rows]
+        assert labels == [
+            f"{config}/t{asid}"
+            for config in ("oracle", "iommu", "neummu")
+            for asid in (0, 1)
+        ]
+        for row in fig.rows:
+            # Heterogeneous tenants have different isolated baselines.
+            assert row.values["isolated_mcycles"] > 0
+            assert row.values["slowdown"] >= 0.99
+        assert "RECSYS-1+RECSYS-2" in fig.title
+
+    def test_tenants_mix_rejects_count_mismatch(self):
+        from repro.analysis import multi_tenant_contention
+
+        with pytest.raises(ValueError, match="does not match"):
+            multi_tenant_contention(mix="recsys,RECSYS-2", tenants=3)
+
+    def test_paging_tenants_budget_validation(self):
+        from repro.analysis import paging_tenants
+
+        with pytest.raises(ValueError, match="budgets"):
+            paging_tenants(mix="recsys,RECSYS-2", budgets_mb=(32,))

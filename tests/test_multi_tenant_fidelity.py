@@ -93,6 +93,71 @@ class TestFastExactParity:
             )
 
 
+def small_footprint_workload(tag, batch=1):
+    # Few enough distinct pages that two tenants together never fill the
+    # 2048-entry shared TLB: with zero capacity pressure, the departed
+    # tenant's cached state cannot influence the survivor through victim
+    # selection, so survivor timing must be *exactly* reproducible.
+    return Workload(
+        name=f"small_{tag}_b{batch:02d}",
+        batch=batch,
+        layers=tuple(DenseLayer(f"fc{i}", batch, 256, 256) for i in range(10)),
+    )
+
+
+class TestShootdownUnderContention:
+    """Satellite: ``invalidate_asid``/``destroy_context`` fired mid-run
+    leave the surviving tenants' results bit-identical.
+
+    Tenant 1 stops being serviced halfway (with walks still in flight);
+    three worlds then finish tenant 0: (a) tenant 1 simply idles, (b) its
+    TLB footprint is swept with ``invalidate_asid``, (c) its context is
+    destroyed outright (``SharedMMU.remove_tenant`` → ``destroy_context``,
+    poisoning its in-flight walks).  EXACT fidelity, so every cycle of
+    the survivor is compared, not a converged estimate.
+    """
+
+    PREFIX_STEPS = 5
+
+    def _survivor_after(self, teardown, config_factory=neummu_config):
+        sim = MultiTenantSimulator(
+            [small_footprint_workload("a"), small_footprint_workload("b")],
+            config_factory(),
+            fidelity=Fidelity.EXACT,
+        )
+        runs = [_TenantRun(tenant) for tenant in sim.tenants]
+        for _ in range(self.PREFIX_STEPS):
+            for run in runs:
+                if not run.done:
+                    run.advance()
+        assert not runs[0].done and not runs[1].done, "prefix ran to completion"
+        if teardown == "invalidate_asid":
+            assert sim.shared.mmu.tlb.invalidate_asid(1) > 0
+        elif teardown == "destroy_context":
+            sim.shared.remove_tenant(1)
+            assert 1 not in sim.shared.mmu.contexts
+        # Tenant 1 is never advanced again in any world.
+        while not runs[0].done:
+            runs[0].advance()
+        sim.shared.mmu.drain()
+        return runs[0]
+
+    @pytest.mark.parametrize(
+        "teardown", ["invalidate_asid", "destroy_context"]
+    )
+    @pytest.mark.parametrize(
+        "config_factory", [baseline_iommu_config, neummu_config]
+    )
+    def test_survivor_bit_identical(self, teardown, config_factory):
+        baseline = self._survivor_after(None, config_factory)
+        swept = self._survivor_after(teardown, config_factory)
+        assert swept.cycle == baseline.cycle  # exact, not approx
+        assert len(swept.layer_results) == len(baseline.layer_results)
+        for mine, theirs in zip(swept.layer_results, baseline.layer_results):
+            assert mine.cycles == theirs.cycles
+            assert mine.compute_cycles == theirs.compute_cycles
+
+
 class TestContentionEpoch:
     """Converged timings are scoped to one contention epoch."""
 

@@ -16,9 +16,14 @@ from repro.workloads.layers import ConvLayer, DenseLayer, RecurrentLayer
 from repro.workloads.registry import (
     DENSE_BATCHES,
     DENSE_WORKLOADS,
+    MIX_ALIASES,
+    MixWorkloadFactory,
     common_layer_workload,
     dense_suite,
     dense_workload,
+    mix_factories,
+    recsys_mlp,
+    resolve_workload_name,
 )
 from repro.workloads.rnn import lstm_large, lstm_medium, vanilla_rnn
 
@@ -238,3 +243,60 @@ class TestZipfSampler:
             ZipfSampler().sample(0, 5)
         with pytest.raises(ValueError):
             ZipfSampler().sample(10, -1)
+
+
+class TestMixRegistry:
+    """Heterogeneous tenant mixes resolve entirely through the registry."""
+
+    def test_aliases_resolve_to_canonical_ids(self):
+        assert resolve_workload_name("cnn") == "CNN-1"
+        assert resolve_workload_name("rnn") == "RNN-2"
+        assert resolve_workload_name("recsys") == "RECSYS-1"
+        assert resolve_workload_name("CNN-3") == "CNN-3"
+        assert resolve_workload_name("cnn-2") == "CNN-2"
+        assert resolve_workload_name(" RECSYS-2 ") == "RECSYS-2"
+
+    def test_unknown_token_lists_the_menu(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_workload_name("transformer")
+        message = str(excinfo.value)
+        for name in list(MIX_ALIASES) + ["CNN-1", "RECSYS-1"]:
+            assert name in message
+
+    def test_mix_factories_builds_one_tenant_per_token(self):
+        factories = mix_factories("cnn,rnn,recsys", batch=4)
+        assert [f.name for f in factories] == ["CNN-1", "RNN-2", "RECSYS-1"]
+        workloads = [f() for f in factories]
+        assert [w.batch for w in workloads] == [4, 4, 4]
+        assert workloads[2].name == "dlrm_mlp_b04"
+
+    def test_mix_accepts_sequences_and_rejects_empties(self):
+        assert [f.name for f in mix_factories(["rnn", "CNN-1"])] == [
+            "RNN-2",
+            "CNN-1",
+        ]
+        with pytest.raises(ValueError):
+            mix_factories("")
+        with pytest.raises(ValueError):
+            mix_factories(" , ,")
+
+    def test_mix_factory_is_picklable(self):
+        import pickle
+
+        factory = MixWorkloadFactory("RECSYS-1", 2)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone().name == factory().name
+
+    def test_recsys_mlp_matches_model_towers(self):
+        from repro.workloads.embedding import dlrm, ncf
+
+        workload = recsys_mlp("RECSYS-1", batch=2)
+        model = dlrm()
+        expected = len(model.bottom_mlp.layer_dims) + len(
+            model.top_mlp.layer_dims
+        )
+        assert len(workload.layers) == expected
+        ncf_workload = recsys_mlp("RECSYS-2", batch=1)
+        assert len(ncf_workload.layers) == len(ncf().top_mlp.layer_dims)
+        with pytest.raises(KeyError):
+            recsys_mlp("RECSYS-9")
