@@ -18,19 +18,25 @@ and writes ``benchmarks/results/BENCH_perf.json``:
 
 Each scenario reports wall-clock seconds, the number of translation
 requests it retired, and translations/sec — the throughput number to
-watch across PRs.  ``BASELINE`` pins the numbers measured immediately
-before and after PR 4 (the event-driven scheduling core + contended
-batching) on the PR 4 development machine, so the written JSON always
-records that PR's before/after alongside the current run.  Compare
-like-for-like: absolute numbers are machine-dependent; the *ratio*
-between a fresh run and a stored run on the same machine is the signal.
+watch across PRs.  ``BASELINE`` pins per-PR before/after pairs, each
+measured back to back on that PR's development machine (PR 4: the
+event-driven scheduling core; PR 6: the columnar transaction core,
+including the reference-engine-mode numbers the columnar path is
+golden-diffed against).  Compare like-for-like: absolute numbers are
+machine-dependent; the *ratio* between a fresh run and a stored run on
+the same machine is the signal.
 
 Run directly (``python -m benchmarks.bench_perf``) or via the weekly CI
-job (non-blocking).  Output goes to ``benchmarks/results/BENCH_perf.json``
+job, which passes ``--check``: every scenario's throughput ratio against
+the committed root ``BENCH_perf.json`` is normalized by the
+cross-scenario median (machine speed cancels out) and the job fails if
+any scenario sits more than 20% below the normalized expectation.
+Output goes to ``benchmarks/results/BENCH_perf.json``
 (gitignored, like every generated benchmark artifact) so local and CI
 runs never dirty the working tree; the copy committed at the repository
-root is PR 4's frozen record, regenerated only when a PR intentionally
-moves the needle.  ``NEUMMU_PERF_OUT`` overrides the output path.
+root is PR 6's frozen record (columnar engine), regenerated only when a
+PR intentionally moves the needle.  ``NEUMMU_PERF_OUT`` overrides the
+output path.
 """
 
 from __future__ import annotations
@@ -43,13 +49,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: PR 4's before/after, measured back to back on one machine (see module
-#: docstring).  Kept in the output so the bench trajectory has a first
-#: fixed point even on fresh checkouts.
+#: Before/after pairs measured back to back on one machine per PR (see
+#: module docstring).  Kept in the output so the bench trajectory has
+#: fixed points even on fresh checkouts.
 BASELINE = {
     "note": (
-        "measured on the PR 4 development machine; compare ratios, "
-        "not absolute numbers, across machines"
+        "each pre/post pair was measured back to back on that PR's "
+        "development machine; compare ratios, not absolute numbers, "
+        "across machines"
     ),
     "pre_pr4": {
         "engine_fastpath": {"wall_s": 0.129, "translations_per_sec": 2027699},
@@ -60,6 +67,22 @@ BASELINE = {
         "engine_fastpath": {"wall_s": 0.109, "translations_per_sec": 2409145},
         "single_tenant": {"wall_s": 0.926, "translations_per_sec": 332443},
         "qos_sweep": {"wall_s": 10.150, "translations_per_sec": 261847},
+    },
+    # PR 6 (columnar transaction core): the pre_pr6 row is the PR 5 tree
+    # on the PR 6 machine; pr6_reference_engine is the same tree as the
+    # current scenarios but with NEUMMU_ENGINE=reference — the per-object
+    # golden path the columnar engine is diffed against bit for bit.
+    "pre_pr6": {
+        "engine_fastpath": {"wall_s": 0.148, "translations_per_sec": 1775662},
+        "single_tenant": {"wall_s": 1.295, "translations_per_sec": 237630},
+        "qos_sweep": {"wall_s": 14.127, "translations_per_sec": 188133},
+        "demand_paging": {"wall_s": 1.932, "translations_per_sec": 95467},
+    },
+    "pr6_reference_engine": {
+        "engine_fastpath": {"wall_s": 0.320, "translations_per_sec": 819603},
+        "single_tenant": {"wall_s": 1.280, "translations_per_sec": 240565},
+        "qos_sweep": {"wall_s": 18.558, "translations_per_sec": 143205},
+        "demand_paging": {"wall_s": 1.863, "translations_per_sec": 99052},
     },
 }
 
@@ -194,11 +217,71 @@ def run_bench(out_path: Path | None = None) -> dict:
     return doc
 
 
+#: A scenario fails the regression gate when its throughput falls more
+#: than this far below the machine-normalized expectation.
+REGRESSION_TOLERANCE = 0.20
+
+
+def check_regressions(doc: dict, committed_path: Path) -> list:
+    """Compare ``doc`` against the committed record; return failures.
+
+    Absolute numbers are machine-dependent, so the gate follows the
+    baseline note and compares *ratios*: each scenario's current
+    translations/sec over the committed record's, normalized by the
+    median ratio across scenarios.  A uniformly slower (or faster)
+    runner moves every scenario together and normalizes out; a real
+    regression drags its scenario more than ``REGRESSION_TOLERANCE``
+    below the rest and fails the check.
+    """
+    try:
+        committed = json.loads(committed_path.read_text())
+    except FileNotFoundError:
+        return [f"no committed baseline at {committed_path}"]
+    baseline = committed.get("scenarios", {})
+    ratios = {}
+    for name, current in doc["scenarios"].items():
+        ref = baseline.get(name, {}).get("translations_per_sec")
+        if ref:
+            ratios[name] = current["translations_per_sec"] / ref
+    if not ratios:
+        return [f"no comparable scenarios in {committed_path}"]
+    ordered = sorted(ratios.values())
+    median = ordered[len(ordered) // 2]
+    if median <= 0:
+        return ["degenerate throughput ratios (median <= 0)"]
+    failures = []
+    floor = 1.0 - REGRESSION_TOLERANCE
+    print(f"\nregression check vs {committed_path} (median ratio {median:.3f}):")
+    for name, ratio in sorted(ratios.items()):
+        normalized = ratio / median
+        verdict = "ok" if normalized >= floor else "REGRESSION"
+        print(f"  {name:16s} {normalized:6.3f}x of expected   {verdict}")
+        if normalized < floor:
+            failures.append(
+                f"{name}: {normalized:.3f}x of machine-normalized expected "
+                f"throughput (> {REGRESSION_TOLERANCE:.0%} regression vs "
+                f"{committed_path.name})"
+            )
+    return failures
+
+
 def bench_perf(benchmark):
     """pytest-benchmark entry point (one timed pass, like the figures)."""
     benchmark.pedantic(run_bench, rounds=1, iterations=1)
 
 
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    doc = run_bench()
+    if "--check" in argv:
+        failures = check_regressions(doc, REPO_ROOT / "BENCH_perf.json")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed")
+    return 0
+
+
 if __name__ == "__main__":
-    run_bench()
-    sys.exit(0)
+    sys.exit(main())

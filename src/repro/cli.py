@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 from pathlib import Path
@@ -20,7 +21,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from . import analysis
 from .analysis.figures import FigureResult
-from .core.mmu import baseline_iommu_config, neummu_config, oracle_config
+from .core.mmu import (
+    ENGINE_MODES,
+    baseline_iommu_config,
+    neummu_config,
+    oracle_config,
+)
 from .core.qos import ARBITRATION_POLICIES, SHARE_POLICIES
 from .npu.simulator import NPUSimulator
 from .workloads.registry import DENSE_WORKLOADS, dense_workload
@@ -140,6 +146,42 @@ def _validate_tenant_flags(args, errors: List[str]) -> None:
             )
 
 
+def _validate_engine_flag(args, errors: List[str]) -> None:
+    """Reject unknown ``--engine`` values with the valid choices spelled out."""
+    engine = getattr(args, "engine", None)
+    if engine is not None and engine not in ENGINE_MODES:
+        errors.append(
+            f"unknown engine mode {engine!r}; choose from "
+            f"{', '.join(sorted(ENGINE_MODES))} ('columnar' is the "
+            f"structure-of-arrays fast path, 'reference' the bit-identical "
+            f"per-object golden path)"
+        )
+
+
+def _apply_engine_flag(args) -> None:
+    """Thread a validated ``--engine`` choice into config construction.
+
+    ``MMUConfig.engine_mode`` defaults from the ``NEUMMU_ENGINE``
+    environment variable, so setting it here covers every config the
+    command builds — including ones constructed deep inside experiment
+    functions and worker processes (the env propagates to them).
+    """
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        os.environ["NEUMMU_ENGINE"] = engine
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    """``--engine``: select the translation engine's data-path."""
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="translation-engine data path: 'columnar' (structure-of-arrays "
+        "fast path, the default) or 'reference' (per-object golden path; "
+        "both produce bit-identical figures)",
+    )
+
+
 def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
     """``--profile``: wrap the command in cProfile (perf-PR evidence)."""
     parser.add_argument(
@@ -222,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(e.g. cnn,rnn,recsys)",
     )
     _add_qos_flags(run)
+    _add_engine_flag(run)
     _add_profile_flag(run)
 
     compare = sub.add_parser(
@@ -237,6 +280,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "report per-tenant contention statistics",
     )
     _add_qos_flags(compare)
+    _add_engine_flag(compare)
     _add_profile_flag(compare)
 
     report = sub.add_parser(
@@ -338,6 +382,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         names = [args.experiment]
     errors: List[str] = []
     _validate_tenant_flags(args, errors)
+    _validate_engine_flag(args, errors)
     if len(names) == 1:
         # A single named experiment must not silently drop flags it does
         # not accept ("run all" applies each flag where it fits).
@@ -362,6 +407,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for error in errors:
             print(error, file=sys.stderr)
         return 2
+    _apply_engine_flag(args)
     runner = None
     if args.jobs != 1 or args.cache_dir is not None:
         from .analysis.runner import ExperimentRunner
@@ -387,6 +433,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     errors: List[str] = []
     _validate_tenant_flags(args, errors)
+    _validate_engine_flag(args, errors)
     if args.tenants <= 1 and any(
         flag is not None for flag in (args.qos, args.arbitration, args.weights)
     ):
@@ -398,6 +445,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for error in errors:
             print(error, file=sys.stderr)
         return 2
+    _apply_engine_flag(args)
     factory = lambda: dense_workload(args.workload, args.batch)
     oracle = NPUSimulator(factory(), oracle_config()).run()
     print(f"{args.workload} b{args.batch:02d}:")

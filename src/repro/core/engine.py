@@ -46,6 +46,7 @@ merge run — may be deferred to the run boundary).
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -68,17 +69,18 @@ Transaction = Tuple[int, int]
 FaultHandler = Callable[[int, float, int], float]
 
 
-def _run_bounds(transactions, i, n, vpn, vpn_shift, meta, rc):
-    """Bounds of the same-page run starting at ``transactions[i]``.
+def _run_bounds(va_list, size_list, i, n, vpn, vpn_shift, meta, rc):
+    """Bounds of the same-page run starting at index ``i``.
 
     Returns ``(j, streamable, rc)``: the run's end index, whether it is
     a contiguous uniform 256 B stream (the closed-form precondition),
     and the advanced cursor into the DMA-provided ``meta`` run list
-    (``None`` meta falls back to scanning).  One derivation shared by
-    every batched/contended segment — the copies *must* stay
-    operation-identical for the parity contract, so there is exactly
-    one.  Callers memoize the result per run (``run_vpn``/``run_end``),
-    so this runs once per same-page run, not per transaction.
+    (``None`` meta falls back to scanning the column lists).  One
+    derivation shared by every batched/contended segment — the copies
+    *must* stay operation-identical for the parity contract, so there
+    is exactly one.  Callers memoize the result per run
+    (``run_vpn``/``run_end``), so this runs once per same-page run, not
+    per transaction.
     """
     if meta is not None:
         while meta[rc][0] <= i:
@@ -86,14 +88,14 @@ def _run_bounds(transactions, i, n, vpn, vpn_shift, meta, rc):
         j, streamable = meta[rc]
         return j, streamable, rc
     j = i + 1
-    while j < n and transactions[j][0] >> vpn_shift == vpn:
+    while j < n and va_list[j] >> vpn_shift == vpn:
         j += 1
-    va0 = transactions[i][0]
+    va0 = va_list[i]
     streamable = (
         j - i >= 2
-        and transactions[i][1] == 256
-        and transactions[j - 1][0] - va0 == (j - 1 - i) * 256
-        and all(tx[1] == 256 for tx in transactions[i:j])
+        and size_list[i] == 256
+        and va_list[j - 1] - va0 == (j - 1 - i) * 256
+        and all(s == 256 for s in size_list[i:j])
     )
     return j, streamable, rc
 
@@ -135,13 +137,22 @@ class TranslationEngine:
         self.timeline_window = timeline_window
         self.fault_handler = fault_handler
         #: Enable the batched same-page fast path (set False to force the
-        #: per-transaction golden-reference path).
-        self.batched = batched
+        #: per-transaction golden-reference path).  ``engine_mode=
+        #: "reference"`` pins the engine to the per-object golden path
+        #: regardless — that mode *is* the reference the columnar
+        #: representation is golden-diffed against.
+        self.batched = batched and mmu.config.engine_mode != "reference"
+        #: Columnar engine mode: fast paths bind plain-list projections of
+        #: structure-of-arrays streams and use the fused run handlers.
+        self.columnar = mmu.config.engine_mode == "columnar"
         #: window index -> number of translation requests issued in it
         #: (Figure 7's burst histogram).  Populated when timeline_window > 0.
         #: A defaultdict so the per-transaction histogram update is one
         #: indexed increment instead of a get-plus-store.
         self.timeline: Dict[int, int] = defaultdict(int)
+        #: asid -> fused FIFO no-PRMB segment runner (closure over the
+        #: MMU's stable structures; see :meth:`_no_prmb_fifo_runner`).
+        self._np_runners: Dict[int, Callable] = {}
 
     # ------------------------------------------------------------------ #
     # dispatch                                                           #
@@ -303,6 +314,14 @@ class TranslationEngine:
         counted = 0
         n = len(transactions)
 
+        # Column projections (see _run_burst_batched).
+        va_list = getattr(transactions, "va_list", None)
+        if va_list is not None:
+            size_list = transactions.size_list
+        else:
+            va_list = [t[0] for t in transactions]
+            size_list = [t[1] for t in transactions]
+
         # DMA-provided run metadata (see _run_burst_batched).
         meta = getattr(transactions, "runs", None)
         if meta is not None and (
@@ -315,7 +334,8 @@ class TranslationEngine:
         try:
             i = 0
             while i < n:
-                va, size = transactions[i]
+                va = va_list[i]
+                size = size_list[i]
                 vpn = va >> vpn_shift
                 if vpn != last_vpn:
                     if resolve(vpn) is None:
@@ -336,7 +356,7 @@ class TranslationEngine:
                 i += 1
                 # Same-page continuation (translation already proven
                 # present for this page; only the memory arithmetic runs).
-                if i >= n or transactions[i][0] >> vpn_shift != vpn:
+                if i >= n or va_list[i] >> vpn_shift != vpn:
                     continue
                 if meta is not None:
                     while meta[rc][0] <= i:
@@ -344,17 +364,17 @@ class TranslationEngine:
                     j, streamable = meta[rc]
                 else:
                     j = i + 1
-                    while j < n and transactions[j][0] >> vpn_shift == vpn:
+                    while j < n and va_list[j] >> vpn_shift == vpn:
                         j += 1
-                    va0 = transactions[i][0]
+                    va0 = va_list[i]
                     streamable = (
                         j - i >= 2
-                        and transactions[i][1] == 256
-                        and transactions[j - 1][0] - va0 == (j - 1 - i) * 256
-                        and all(t[1] == 256 for t in transactions[i:j])
+                        and size_list[i] == 256
+                        and va_list[j - 1] - va0 == (j - 1 - i) * 256
+                        and all(s == 256 for s in size_list[i:j])
                     )
                 span = j - i
-                va0 = transactions[i][0]
+                va0 = va_list[i]
                 if (
                     span >= 8
                     and streamable
@@ -393,7 +413,7 @@ class TranslationEngine:
                         counted += span
                         i = j
                         continue
-                for va, size in transactions[i:j]:
+                for va, size in zip(va_list[i:j], size_list[i:j]):
                     channel = (va >> 8) % n_channels
                     free_at = channel_free[channel]
                     start = cycle if cycle > free_at else free_at
@@ -494,6 +514,86 @@ class TranslationEngine:
         total_bytes = 0
         n = len(transactions)
 
+        # Column projections: a columnar stream hands over its cached
+        # plain-list columns; an object stream is projected once per call
+        # (same values, so the loop bodies below are representation-blind).
+        va_list = getattr(transactions, "va_list", None)
+        if va_list is not None:
+            size_list = transactions.size_list
+        else:
+            va_list = [t[0] for t in transactions]
+            size_list = [t[1] for t in transactions]
+
+        # Fused leading-transaction dispatch (columnar tentpole): inline
+        # MMU.translate for the trivial-policy PRMB design points, probing
+        # the same structures with the same counters in the same order.
+        resolver = mmu._resolvers.get(asid)
+        fused = prmb_capacity and resolver is not None
+        pool_stats = pool.stats
+        walk_of = pool._walk_of
+        vpn_arr = pool._vpn
+        free_list = pool._free
+        tpregs = pool._tpregs
+        shared_cache = None if pool._no_path_cache else pool._shared_cache
+        walk_latency = pool.walk_latency_per_level
+        heappush_ = heapq.heappush
+        if fused:
+            resolver_resolve = resolver.resolve_vpn
+            r_cache = resolver._cache
+
+        # Slim fused drain: MMU.process_completions with the per-call
+        # binding prologue hoisted to burst scope and the TPREG fill /
+        # set-MRU-refill fast cases inlined (a resident set-MRU refill
+        # with the same PFN is a state no-op; see the runner's guard).
+        poisoned = mmu._poisoned_walkers
+        busy_by_asid = pool._busy_by_asid
+        prmb_occ = pool._prmb_occ
+        policied = pool._policy is not None
+        tlb_insert = tlb.insert
+        heappop_ = heapq.heappop
+
+        def drain(cycle: float) -> None:
+            while heap and heap[0][0] <= cycle:
+                _, _, walker = heappop_(heap)
+                walk = walk_of[walker]
+                if tpregs is not None:
+                    tp = tpregs[walker]
+                    tp._path = walk.path
+                    tp._asid = walk.asid
+                elif shared_cache is not None:
+                    shared_cache.fill(walk)
+                buf = buffers[walker]
+                merged = buf._occupied
+                buf._occupied = 0
+                vpn_arr[walker] = None
+                walk_of[walker] = None
+                w_asid = walk.asid
+                if policied:
+                    busy = busy_by_asid.get(w_asid)
+                    if busy is not None:
+                        busy.discard(walker)
+                    if merged:
+                        prmb_occ[w_asid] -= merged
+                free_list.append(walker)
+                if poisoned and walker in poisoned:
+                    poisoned.discard(walker)
+                    continue
+                key = walk.vpn | (w_asid << ASID_SHIFT)
+                walkers_ = pts_by_vpn[key]
+                walkers_.remove(walker)
+                if not walkers_:
+                    del pts_by_vpn[key]
+                pts._count -= 1
+                dset = tlb_sets[key & tlb_set_mask]
+                if not (
+                    dset
+                    and next(reversed(dset)) == key
+                    and dset[key] == walk.pfn
+                ):
+                    tlb_insert(walk.vpn, walk.pfn, w_asid)
+
+        process = drain
+
         # DMA-provided run metadata (TransactionStream): same-page run
         # bounds and streamability known at linearization time, replacing
         # the per-transaction scan below.  Only valid at matching page size.
@@ -515,7 +615,8 @@ class TranslationEngine:
 
         i = 0
         while i < n:
-            va, size = transactions[i]
+            va = va_list[i]
+            size = size_list[i]
             vpn = va >> vpn_shift
             tkey = vpn | asid_bits
             if not prmb_capacity and tkey not in tlb_sets[tkey & tlb_set_mask]:
@@ -526,38 +627,143 @@ class TranslationEngine:
                     i, cycle, data_end, total_bytes, stall,
                     rc, run_vpn, run_end, run_streamable, handled,
                 ) = self._no_prmb_entry(
-                    transactions, i, n, vpn, tkey, asid, cycle, data_end,
-                    total_bytes, stall, meta, rc, run_vpn, run_end,
-                    run_streamable,
+                    transactions, va_list, size_list, i, n, vpn, tkey, asid,
+                    cycle, data_end, total_bytes, stall, meta, rc, run_vpn,
+                    run_end, run_streamable,
                 )
                 if handled:
                     continue
-                # i is unchanged here, so va/size/vpn/tkey are still valid.
+                # The whole-burst runner may have crossed page boundaries
+                # before faulting or blocking, so transaction ``i`` is not
+                # necessarily the one this iteration derived its locals
+                # from: re-derive them before the reference-step replay.
+                va = va_list[i]
+                size = size_list[i]
+                vpn = va >> vpn_shift
+                tkey = vpn | asid_bits
             # -- reference step for the run's leading transaction --------
             if heap and heap[0][0] <= cycle:
                 process(cycle)
-            while True:
-                try:
-                    ready, retry = translate(vpn, cycle, asid)
-                except TranslationFault:
-                    if fault_handler is None:
-                        raise
-                    resolved = fault_handler(vpn, cycle, asid)
-                    # The handler may have migrated/remapped pages; drop
-                    # the memoized same-page-run metadata so the batch
-                    # logic re-derives it against post-fault state.
-                    run_vpn = -1
-                    run_end = 0
-                    stall += resolved - cycle
-                    cycle = resolved
-                    process(cycle)
-                    continue
-                if ready is None:
+            if fused:
+                # Inlined MMU.translate for the trivial-policy PRMB MMU:
+                # same probes, same counters, same dispatch order (TLB →
+                # PTS/PRMB merge → walker allocation → stall), with the
+                # method-call chain flattened against locals.  The
+                # request count is settled per branch (translate nets it
+                # to zero on the stall and fault branches).
+                while True:
+                    entry_set = tlb_sets[tkey & tlb_set_mask]
+                    if tkey in entry_set:
+                        stats.requests += 1
+                        entry_set.move_to_end(tkey)
+                        tlb.hits += 1
+                        stats.tlb_hits += 1
+                        ready = cycle + tlb_latency
+                        break
+                    tlb.misses += 1
+                    pts.lookups += 1
+                    walkers = pts_by_vpn.get(tkey)
+                    if walkers:
+                        pts.hits += 1
+                        merged = False
+                        for walker in walkers:
+                            buf = buffers[walker]
+                            pos = buf._occupied
+                            if pos >= buf.slots:
+                                prmb_stats.rejects_full += 1
+                                continue
+                            pos += 1
+                            buf._occupied = pos
+                            prmb_stats.merges += 1
+                            if pos > prmb_stats.peak_occupancy:
+                                prmb_stats.peak_occupancy = pos
+                            ready = completion_of[walker] + pos
+                            merged = True
+                            break
+                        if merged:
+                            stats.requests += 1
+                            stats.merges += 1
+                            break
+                    if free_list:
+                        walk = r_cache.get(vpn)
+                        if walk is None:
+                            walk = resolver_resolve(vpn)
+                        if walk is None:
+                            stats.faults += 1
+                            if fault_handler is None:
+                                raise TranslationFault(vpn)
+                            resolved = fault_handler(vpn, cycle, asid)
+                            # Post-fault state may be remapped: drop the
+                            # memoized same-page-run metadata.
+                            run_vpn = -1
+                            run_end = 0
+                            stall += resolved - cycle
+                            cycle = resolved
+                            process(cycle)
+                            continue
+                        stats.requests += 1
+                        if walkers:
+                            stats.redundant_walk_requests += 1
+                        # Inlined WalkerPool.start_walk + PTS.register.
+                        walker = free_list.pop()
+                        if tpregs is not None:
+                            skip = tpregs[walker].lookup(walk)
+                        elif shared_cache is not None:
+                            skip = shared_cache.lookup(walk)
+                        else:
+                            skip = 0
+                        levels = walk.levels
+                        accessed = levels - (
+                            skip if skip < levels - 1 else levels - 1
+                        )
+                        ready = cycle + accessed * walk_latency
+                        pool_stats.walks += 1
+                        if walkers:
+                            pool_stats.redundant_walks += 1
+                        pool_stats.level_accesses += accessed
+                        pool_stats.levels_skipped += levels - accessed
+                        vpn_arr[walker] = vpn
+                        walk_of[walker] = walk
+                        completion_of[walker] = ready
+                        pool._seq += 1
+                        heappush_(heap, (ready, pool._seq, walker))
+                        if walkers:
+                            walkers.append(walker)
+                        else:
+                            pts_by_vpn[tkey] = [walker]
+                        pts._count += 1
+                        break
+                    # Fully blocked: translate's stall branch (the probe
+                    # counters above stand; the retried request recounts).
+                    retry = heap[0][0] if heap else inf
+                    stats.stall_events += 1
+                    stats.stall_cycles += max(0.0, retry - cycle)
                     stall += retry - cycle
                     cycle = retry
                     process(cycle)
-                    continue
-                break
+            else:
+                while True:
+                    try:
+                        ready, retry = translate(vpn, cycle, asid)
+                    except TranslationFault:
+                        if fault_handler is None:
+                            raise
+                        resolved = fault_handler(vpn, cycle, asid)
+                        # The handler may have migrated/remapped pages; drop
+                        # the memoized same-page-run metadata so the batch
+                        # logic re-derives it against post-fault state.
+                        run_vpn = -1
+                        run_end = 0
+                        stall += resolved - cycle
+                        cycle = resolved
+                        process(cycle)
+                        continue
+                    if ready is None:
+                        stall += retry - cycle
+                        cycle = retry
+                        process(cycle)
+                        continue
+                    break
             channel = (va >> 8) % n_channels
             free_at = channel_free[channel]
             start = ready if ready > free_at else free_at
@@ -575,7 +781,7 @@ class TranslationEngine:
             # stays on this page" probe; state probes follow only when it
             # holds, so page-divergent streams pay two integer ops per
             # transaction for the fast path's existence.
-            while i < n and transactions[i][0] >> vpn_shift == vpn:
+            while i < n and va_list[i] >> vpn_shift == vpn:
                 if tkey in tlb_sets[tkey & tlb_set_mask]:
                     # Bulk TLB hits over the whole run.  Walk completions
                     # that fall inside the run are deferred to its end and
@@ -591,7 +797,7 @@ class TranslationEngine:
                         break
                     if run_vpn != vpn or i >= run_end:
                         j, run_streamable, rc = _run_bounds(
-                            transactions, i, n, vpn, vpn_shift, meta, rc
+                            va_list, size_list, i, n, vpn, vpn_shift, meta, rc
                         )
                         run_vpn = vpn
                         run_end = j
@@ -599,7 +805,7 @@ class TranslationEngine:
                         j = run_end
                     span = j - i
                     closed = False
-                    va0 = transactions[i][0]
+                    va0 = va_list[i]
                     if (
                         span >= 8
                         and run_streamable
@@ -637,7 +843,7 @@ class TranslationEngine:
                             total_bytes += span * 256
                     if not closed:
                         last_issue = cycle
-                        for va, size in transactions[i:j]:
+                        for va, size in zip(va_list[i:j], size_list[i:j]):
                             ready = cycle + tlb_latency
                             channel = (va >> 8) % n_channels
                             free_at = channel_free[channel]
@@ -663,9 +869,9 @@ class TranslationEngine:
                         i, cycle, data_end, total_bytes, stall,
                         rc, run_vpn, run_end, run_streamable, handled,
                     ) = self._no_prmb_entry(
-                        transactions, i, n, vpn, tkey, asid, cycle,
-                        data_end, total_bytes, stall, meta, rc, run_vpn,
-                        run_end, run_streamable,
+                        transactions, va_list, size_list, i, n, vpn, tkey,
+                        asid, cycle, data_end, total_bytes, stall, meta,
+                        rc, run_vpn, run_end, run_streamable,
                     )
                     if not handled:
                         break  # the reference step raises / re-evaluates
@@ -697,7 +903,7 @@ class TranslationEngine:
                     continue
                 if run_vpn != vpn or i >= run_end:
                     j, run_streamable, rc = _run_bounds(
-                        transactions, i, n, vpn, vpn_shift, meta, rc
+                        va_list, size_list, i, n, vpn, vpn_shift, meta, rc
                     )
                     run_vpn = vpn
                     run_end = j
@@ -722,7 +928,7 @@ class TranslationEngine:
                         span = t
                     if span > 0:
                         closed = False
-                        va0 = transactions[i][0]
+                        va0 = va_list[i]
                         if (
                             span >= 8
                             and run_streamable
@@ -760,7 +966,9 @@ class TranslationEngine:
                                 total_bytes += span * 256
                                 pos += span
                         if not closed:
-                            for va, size in transactions[i:i + span]:
+                            for va, size in zip(
+                                va_list[i:i + span], size_list[i:i + span]
+                            ):
                                 pos += 1
                                 ready = comp + pos
                                 channel = (va >> 8) % n_channels
@@ -782,7 +990,8 @@ class TranslationEngine:
                     # walker is only ever abandoned because its buffer is
                     # truly full, the run ended, or this page's walk is due.
                     while k < j and pos < cap and cycle < h_mine:
-                        va, size = transactions[k]
+                        va = va_list[k]
+                        size = size_list[k]
                         pos += 1
                         ready = comp + pos
                         channel = (va >> 8) % n_channels
@@ -876,7 +1085,8 @@ class TranslationEngine:
 
     def _no_prmb_run(
         self,
-        transactions: Sequence[Transaction],
+        va_list: Sequence[int],
+        size_list: Sequence[int],
         i: int,
         j: int,
         vpn: int,
@@ -950,17 +1160,21 @@ class TranslationEngine:
         if policied:
             # Policy answers are constant until the policy's own event
             # horizon (next_event_for contract), so the tenant's walker
-            # quota binds once per segment; the can_start / retry logic
-            # below replicates WalkerPool.can_start / earliest_retry_for
-            # against it operation for operation.
+            # quota — and every other tenant's, with its busy set — binds
+            # once per segment; the can_start / retry logic below
+            # replicates WalkerPool.can_start / earliest_retry_for
+            # against them operation for operation.
             policy = pool._policy
-            n_walkers = pool.n_walkers
-            my_quota = policy.walker_quota(asid, n_walkers)
+            my_quota = pool._walker_quota(asid)
             work_conserving = policy.work_conserving
             my_busy = busy_by_asid.setdefault(asid, set())
             horizon = policy.next_event_for(asid, cycle)
-            walker_quota = policy.walker_quota
-            policy_asids = policy.asids
+            others = [
+                (oq, busy_by_asid.get(other))
+                for other in policy.asids
+                if other != asid
+                and (oq := pool._walker_quota(other)) is not None
+            ]
         else:
             horizon = inf
         walks_n = 0
@@ -1012,17 +1226,12 @@ class TranslationEngine:
                 startable = False
             else:
                 reserved_unmet = 0
-                for other in policy_asids:
-                    if other == asid:
-                        continue
-                    other_quota = walker_quota(other, n_walkers)
-                    if other_quota is not None:
-                        other_busy = busy_by_asid.get(other)
-                        shortfall = other_quota - (
-                            len(other_busy) if other_busy else 0
-                        )
-                        if shortfall > 0:
-                            reserved_unmet += shortfall
+                for other_quota, other_busy in others:
+                    shortfall = other_quota - (
+                        len(other_busy) if other_busy else 0
+                    )
+                    if shortfall > 0:
+                        reserved_unmet += shortfall
                 startable = len(free_list) > reserved_unmet
             if startable:
                 if walk is None:
@@ -1056,7 +1265,8 @@ class TranslationEngine:
                 pool._seq += 1
                 heappush_(heap, (ready, pool._seq, walker))
                 my_walkers.append(walker)
-                va, size = transactions[i]
+                va = va_list[i]
+                size = size_list[i]
                 channel = (va >> 8) % n_channels
                 free_at = channel_free[channel]
                 start = ready if ready > free_at else free_at
@@ -1117,9 +1327,664 @@ class TranslationEngine:
             stats.stall_events += stalls_n + fresh_stall_n
         return i, cycle, data_end, total_bytes, stall, faulted
 
+    def _no_prmb_fifo_runner(self, asid: int):
+        """Build (and cache) the fused FIFO no-PRMB segment runner for one
+        address space.
+
+        Without path caches every walk accesses all of its page depth's
+        levels, so walks complete in start order and the completion heap
+        is (nearly) a FIFO: the heappush/heappop pair per walk becomes a
+        cursor over one sorted snapshot of the heap.  The saturated
+        baseline-IOMMU regime (Figure 8) then advances analytically.
+        Three things make this the fast path the columnar engine leans
+        on for the contended scenarios:
+
+        * **Closure binding.**  Every stable structure (heap, free list,
+          scoreboard, TLB sets, channel table ...) binds once when the
+          runner is built, not once per ~5-transaction segment; per-call
+          setup reduces to the policy block the event-horizon contract
+          requires.
+        * **Persistent snapshot.**  The sorted heap image survives
+          between calls; it is revalidated by an O(1) identity check
+          (length + head/tail object identity).  Removals always take
+          the heap minimum — the cursor here, ``heappop`` elsewhere —
+          so if the head object survived with the length and tail
+          unchanged, no pop and hence no push happened: the snapshot is
+          exact.  Sorting amortizes over a burst instead of being paid
+          per segment.
+        * **Order-preserving insertion.**  A start whose completion
+          lands before the snapshot tail (heterogeneous page depths
+          across tenants) is insorted instead of bailing to the general
+          event loop: a sorted list is a valid min-heap and every
+          ``(ready, seq, walker)`` key is distinct, so pop order — the
+          only observable — is unchanged.
+
+        The inner loop carries a *saturated steady-state* fast path:
+        when the pool is fully busy and the next completion is strictly
+        ahead, each transaction is exactly one stall, one retirement and
+        one (redundant) walk start, so the loop collapses to that
+        sequence with the segment-invariant checks hoisted.  Consecutive
+        retirements of the same walk object collapse to one TLB insert:
+        with nothing interleaved the repeats are bare present-key LRU
+        bumps (stamp renumbering is monotone, so victim choices and
+        final LRU order are preserved).  Counters, probes, retry policy
+        and float accumulation order are the general loop's, operation
+        for operation; ``heap[:]`` is restored from the live suffix on
+        every exit.
+        """
+        runner = self._np_runners.get(asid)
+        if runner is not None:
+            return runner
+        mmu = self.mmu
+        pool = mmu.pool
+        pts = mmu.pts
+        tlb = mmu.tlb
+        stats = mmu.stats
+        pool_stats = pool.stats
+        heap = pool.heap
+        interval = self.issue_interval
+        memory = self.memory
+        mem_cfg = memory.config
+        channel_free = memory._channel_free
+        n_channels = mem_cfg.channels
+        ch_bw = mem_cfg.channel_bandwidth
+        mem_latency = mem_cfg.access_latency_cycles
+        tlb_sets = tlb._sets
+        tlb_set_mask = tlb._set_mask
+        pts_by_vpn = pts._by_vpn
+        walk_of = pool._walk_of
+        vpn_arr = pool._vpn
+        free_list = pool._free
+        completion_of = pool._completion_of
+        poisoned = mmu._poisoned_walkers
+        walk_latency = pool.walk_latency_per_level
+        busy_by_asid = pool._busy_by_asid
+        tlb_insert = tlb.insert
+        resolvers = mmu._resolvers
+        walker_quota = pool._walker_quota
+        insort = bisect.insort
+        inf = float("inf")
+
+        run_bounds = _run_bounds
+        vpn_shift = mmu._vpn_shift
+        tlb_touch = tlb.touch
+        tlb_lookup = tlb.lookup
+        tlb_latency = mmu._tlb_latency
+        s_cycles = 256 / ch_bw
+        stream_ok = n_channels * interval >= s_cycles
+        asid_bits = asid << ASID_SHIFT
+
+        # Persistent completion snapshot: ``order[idx:]`` mirrors the heap
+        # between calls (see the revalidation check below).
+        order: List[Tuple[float, int, int]] = []
+        idx = 0
+
+        # Policy block memo, invalidated by ``SharePolicy.version`` (every
+        # quota-changing event bumps it) or a policy swap.  Busy sets are
+        # created eagerly so the memoized ``others`` rows track the live
+        # sets; an empty set behaves exactly like an absent one at every
+        # enforcement site.
+        pol_obj = None
+        pol_ver = -1
+        my_quota = None
+        work_conserving = True
+        my_busy = None
+        others = ()
+
+        def run(va_list, size_list, i, j, n, vpn, tkey, cycle, data_end,
+                total_bytes, stall, meta, rc, run_streamable):
+            nonlocal order, idx
+            nonlocal pol_obj, pol_ver, my_quota, work_conserving, my_busy, others
+            live = len(order) - idx
+            if len(heap) != live or (
+                live
+                and (heap[0] is not order[idx] or heap[-1] is not order[-1])
+            ):
+                order = sorted(heap)
+                idx = 0
+            elif idx > 2048:
+                del order[:idx]
+                idx = 0
+            policy = pool._policy
+            policied = policy is not None
+            if policied:
+                if policy is not pol_obj or pol_ver != policy.version:
+                    pol_obj = policy
+                    pol_ver = policy.version
+                    my_quota = walker_quota(asid)
+                    work_conserving = policy.work_conserving
+                    my_busy = busy_by_asid.setdefault(asid, set())
+                    others = [
+                        (oq, busy_by_asid.setdefault(other, set()))
+                        for other in policy.asids
+                        if other != asid
+                        and (oq := walker_quota(other)) is not None
+                    ]
+                next_event = policy.next_event_for
+                horizon = next_event(asid, cycle)
+            else:
+                next_event = None
+                horizon = inf
+            order_append = order.append
+            tlb_set = tlb_sets[tkey & tlb_set_mask]
+            my_walkers = pts_by_vpn.get(tkey)
+            resolver = resolvers[asid]
+            r_cache = resolver._cache
+            r_resolve = resolver.resolve_vpn
+            run_vpn = vpn
+            run_end = j
+            seq = pool._seq
+            sc = stats.stall_cycles
+            walk = None
+            dur = 0.0
+            levels = 0
+            faulted = False
+            blocked = False
+            walks_n = 0
+            stalls_n = 0
+            fresh_walk_n = 0
+            fresh_stall_n = 0
+            levels_sum = 0
+            released_n = 0
+            prev_walk = None
+
+            while True:
+                if tkey in tlb_set:
+                    # ------------- hit phase (page resident) -------------
+                    # Operation-for-operation the caller's leading
+                    # reference step plus its bulk hit segments, with
+                    # ``process_completions`` consumed through the cursor.
+                    prev_walk = None
+                    while i < j:
+                        if tkey not in tlb_set:
+                            break  # a fill evicted the page: walk again
+                        h = order[idx][0] if idx < len(order) else inf
+                        if h <= cycle:
+                            # process_completions(cycle), cursor-inlined
+                            # (no PRMB drains, no path-cache fills).
+                            n_ord = len(order)
+                            while idx < n_ord:
+                                entry = order[idx]
+                                if entry[0] > cycle:
+                                    break
+                                idx += 1
+                                walker = entry[2]
+                                done_walk = walk_of[walker]
+                                vpn_arr[walker] = None
+                                walk_of[walker] = None
+                                if policied:
+                                    busy = busy_by_asid.get(done_walk.asid)
+                                    if busy is not None:
+                                        busy.discard(walker)
+                                free_list.append(walker)
+                                if poisoned and walker in poisoned:
+                                    poisoned.discard(walker)
+                                    continue
+                                dkey = done_walk.vpn | (
+                                    done_walk.asid << ASID_SHIFT
+                                )
+                                registered = pts_by_vpn[dkey]
+                                registered.remove(walker)
+                                if not registered:
+                                    del pts_by_vpn[dkey]
+                                released_n += 1
+                                dset = tlb_sets[dkey & tlb_set_mask]
+                                if not (
+                                    dset
+                                    and next(reversed(dset)) == dkey
+                                    and dset[dkey] == done_walk.pfn
+                                ):
+                                    # A resident set-MRU refill with the
+                                    # same PFN is a state no-op (the LRU
+                                    # bump lands on the tail; mirror
+                                    # order and all same-set stamp
+                                    # orderings are preserved).
+                                    tlb_insert(
+                                        done_walk.vpn, done_walk.pfn,
+                                        done_walk.asid,
+                                    )
+                            continue
+                        if policied:
+                            horizon = next_event(asid, cycle)
+                            if horizon < h:
+                                h = horizon
+                        t = int((h - cycle) / interval) - 1 if h != inf else n
+                        if t <= 0:
+                            # Horizon-boundary transaction: one reference
+                            # hit (no completion is due at this cycle).
+                            stats.requests += 1
+                            stats.tlb_hits += 1
+                            tlb_lookup(vpn, asid)
+                            ready = cycle + tlb_latency
+                            va = va_list[i]
+                            size = size_list[i]
+                            channel = (va >> 8) % n_channels
+                            free_at = channel_free[channel]
+                            start = ready if ready > free_at else free_at
+                            finish = start + size / ch_bw
+                            channel_free[channel] = finish
+                            done = finish + mem_latency
+                            if done > data_end:
+                                data_end = done
+                            total_bytes += size
+                            cycle += interval
+                            i += 1
+                            continue
+                        span = j - i
+                        if span > t:
+                            span = t
+                        closed = False
+                        va0 = va_list[i]
+                        if (
+                            span >= 8
+                            and run_streamable
+                            and (span <= n_channels or stream_ok)
+                        ):
+                            base_ch = va0 >> 8
+                            lim = span if span < n_channels else n_channels
+                            ok = max(channel_free) <= cycle + tlb_latency
+                            if not ok:
+                                probe = cycle
+                                ok = True
+                                for k in range(lim):
+                                    if channel_free[
+                                        (base_ch + k) % n_channels
+                                    ] > (probe + tlb_latency):
+                                        ok = False
+                                        break
+                                    probe += interval
+                            if ok:
+                                closed = True
+                                for _ in range(span - lim):
+                                    cycle += interval
+                                for k in range(span - lim, span):
+                                    ready = cycle + tlb_latency
+                                    finish = ready + s_cycles
+                                    channel_free[
+                                        (base_ch + k) % n_channels
+                                    ] = finish
+                                    cycle += interval
+                                done = finish + mem_latency
+                                if done > data_end:
+                                    data_end = done
+                                total_bytes += span * 256
+                        if not closed:
+                            for va, size in zip(
+                                va_list[i:i + span], size_list[i:i + span]
+                            ):
+                                ready = cycle + tlb_latency
+                                channel = (va >> 8) % n_channels
+                                free_at = channel_free[channel]
+                                start = ready if ready > free_at else free_at
+                                finish = start + size / ch_bw
+                                channel_free[channel] = finish
+                                done = finish + mem_latency
+                                if done > data_end:
+                                    data_end = done
+                                total_bytes += size
+                                cycle += interval
+                        stats.requests += span
+                        stats.tlb_hits += span
+                        tlb_touch(vpn, span, asid)
+                        i += span
+                    if i >= n:
+                        break
+                    if i >= j:
+                        # Next page.
+                        vpn = va_list[i] >> vpn_shift
+                        tkey = vpn | asid_bits
+                        tlb_set = tlb_sets[tkey & tlb_set_mask]
+                        j, run_streamable, rc = run_bounds(
+                            va_list, size_list, i, n, vpn, vpn_shift, meta, rc
+                        )
+                        run_vpn = vpn
+                        run_end = j
+                        walk = None
+                        my_walkers = pts_by_vpn.get(tkey)
+                        continue
+                    # Evicted mid-run: walk the same page again.
+                    my_walkers = pts_by_vpn.get(tkey)
+
+                # ------------- miss phase (walk the page) ----------------
+                prev_walk = None
+                flip = False
+                while i < j:
+                    n_ord = len(order)
+                    if idx < n_ord and order[idx][0] <= cycle:
+                        # Inlined walk retirement in FIFO order (PRMB-less
+                        # and path-cache-less: nothing to drain or fill).
+                        while idx < n_ord:
+                            entry = order[idx]
+                            if entry[0] > cycle:
+                                break
+                            idx += 1
+                            walker = entry[2]
+                            done_walk = walk_of[walker]
+                            d_asid = done_walk.asid
+                            vpn_arr[walker] = None
+                            walk_of[walker] = None
+                            if policied:
+                                busy = (
+                                    my_busy if d_asid == asid
+                                    else busy_by_asid.get(d_asid)
+                                )
+                                if busy is not None:
+                                    busy.discard(walker)
+                            free_list.append(walker)
+                            if poisoned and walker in poisoned:
+                                poisoned.discard(walker)
+                                continue
+                            # Inlined PTS.release (always registered).
+                            dkey = done_walk.vpn | (d_asid << ASID_SHIFT)
+                            registered = pts_by_vpn[dkey]
+                            registered.remove(walker)
+                            if not registered:
+                                del pts_by_vpn[dkey]
+                            released_n += 1
+                            if done_walk is prev_walk:
+                                # Same mapping as the insert just made,
+                                # nothing interleaved: a bare present-key
+                                # LRU bump.
+                                continue
+                            dset = tlb_sets[dkey & tlb_set_mask]
+                            if not (
+                                dset
+                                and next(reversed(dset)) == dkey
+                                and dset[dkey] == done_walk.pfn
+                            ):
+                                # Set-MRU same-PFN refill: state no-op.
+                                tlb_insert(
+                                    done_walk.vpn, done_walk.pfn, d_asid
+                                )
+                            prev_walk = done_walk
+                        if tkey in tlb_set:
+                            break  # the run flips to TLB hits
+                        my_walkers = pts_by_vpn.get(tkey)
+                    if cycle >= horizon:
+                        blocked = True
+                        break  # policy answers may change: re-consult
+                    if not free_list:
+                        startable = False
+                    elif (
+                        not policied
+                        or my_quota is None
+                        or len(my_busy) < my_quota
+                    ):
+                        startable = True
+                    elif not work_conserving:
+                        startable = False
+                    else:
+                        reserved_unmet = 0
+                        for other_quota, other_busy in others:
+                            shortfall = other_quota - len(other_busy)
+                            if shortfall > 0:
+                                reserved_unmet += shortfall
+                        startable = len(free_list) > reserved_unmet
+                    if startable:
+                        if walk is None:
+                            walk = r_cache.get(vpn)
+                            if walk is None:
+                                # Cold page (or a memoized fault): one
+                                # full resolve decides which.
+                                walk = r_resolve(vpn)
+                                if walk is None:
+                                    faulted = True
+                                    break  # the reference step raises it
+                            levels = walk.levels
+                            dur = levels * walk_latency
+                        ready = cycle + dur
+                        if my_walkers is None:
+                            fresh_walk_n += 1  # PTS miss: non-redundant
+                            my_walkers = pts_by_vpn.setdefault(tkey, [])
+                        else:
+                            walks_n += 1
+                        walker = free_list.pop()
+                        levels_sum += levels
+                        vpn_arr[walker] = vpn
+                        walk_of[walker] = walk
+                        completion_of[walker] = ready
+                        if policied:
+                            my_busy.add(walker)
+                        seq += 1
+                        entry = (ready, seq, walker)
+                        if order and ready < order[-1][0]:
+                            # In-flight walks span page depths: keep the
+                            # snapshot sorted (pop order is unchanged; an
+                            # equal-ready entry has the larger seq and
+                            # belongs at the tail).
+                            insort(order, entry, idx)
+                        else:
+                            order_append(entry)
+                        my_walkers.append(walker)
+                        va = va_list[i]
+                        size = size_list[i]
+                        channel = (va >> 8) % n_channels
+                        free_at = channel_free[channel]
+                        start = ready if ready > free_at else free_at
+                        finish = start + size / ch_bw
+                        channel_free[channel] = finish
+                        done = finish + mem_latency
+                        if done > data_end:
+                            data_end = done
+                        total_bytes += size
+                        cycle += interval
+                        i += 1
+                        # -- saturated steady state: stall, retire, start --
+                        # Preconditions per iteration: pool fully busy,
+                        # next completion strictly ahead, not hard-blocked.
+                        # Each transaction is then exactly the general
+                        # loop's stall attempt + single retirement +
+                        # redundant start, with the checks those imply
+                        # already decided.
+                        # The retired walker is restarted in place, so
+                        # the free-list round trip, the walker-array
+                        # clears and an own-tenant busy discard/add pair
+                        # are deferred; every break materializes them
+                        # (the freed walker, cleared arrays, busy set)
+                        # before the general loop resumes.
+                        while i < j:
+                            if idx >= len(order):
+                                break
+                            entry = order[idx]
+                            c = entry[0]
+                            if c <= cycle or free_list:
+                                break
+                            if cycle >= horizon:
+                                break
+                            if (
+                                policied
+                                and not work_conserving
+                                and my_quota is not None
+                                and len(my_busy) >= my_quota
+                            ):
+                                break  # hard-block: waits on own walks
+                            # Stall attempt (c > cycle here).
+                            stalls_n += 1
+                            sc += c - cycle
+                            stall += c - cycle
+                            cycle = c
+                            idx += 1
+                            # Retire exactly this completion.
+                            walker = entry[2]
+                            done_walk = walk_of[walker]
+                            d_asid = done_walk.asid
+                            own = d_asid == asid
+                            if policied and not own:
+                                busy = busy_by_asid.get(d_asid)
+                                if busy is not None:
+                                    busy.discard(walker)
+                            if poisoned and walker in poisoned:
+                                poisoned.discard(walker)
+                                vpn_arr[walker] = None
+                                walk_of[walker] = None
+                                free_list.append(walker)
+                                if policied and own:
+                                    my_busy.discard(walker)
+                                break  # rare: let the general loop restart
+                            dkey = done_walk.vpn | (d_asid << ASID_SHIFT)
+                            registered = pts_by_vpn[dkey]
+                            registered.remove(walker)
+                            if not registered:
+                                del pts_by_vpn[dkey]
+                            released_n += 1
+                            if done_walk is not prev_walk:
+                                dset = tlb_sets[dkey & tlb_set_mask]
+                                if not (
+                                    dset
+                                    and next(reversed(dset)) == dkey
+                                    and dset[dkey] == done_walk.pfn
+                                ):
+                                    # Set-MRU same-PFN refill: state no-op.
+                                    tlb_insert(
+                                        done_walk.vpn, done_walk.pfn, d_asid
+                                    )
+                                prev_walk = done_walk
+                            if dkey == tkey:
+                                # Our own earlier walk retired: the run
+                                # may flip to TLB hits (unless the
+                                # policied fill dropped the entry).
+                                vpn_arr[walker] = None
+                                walk_of[walker] = None
+                                free_list.append(walker)
+                                if policied and own:
+                                    my_busy.discard(walker)
+                                if tkey in tlb_set:
+                                    flip = True
+                                my_walkers = pts_by_vpn.get(tkey)
+                                break
+                            if (
+                                (idx < len(order) and order[idx][0] <= cycle)
+                                or cycle >= horizon
+                            ):
+                                vpn_arr[walker] = None
+                                walk_of[walker] = None
+                                free_list.append(walker)
+                                if policied and own:
+                                    my_busy.discard(walker)
+                                break  # coincident dues / horizon: general
+                            if policied and my_quota is not None:
+                                busy_n = len(my_busy) - 1 if own else len(my_busy)
+                                if busy_n >= my_quota:
+                                    # Work-conserving borrow check with
+                                    # exactly one free walker.
+                                    reserved_unmet = 0
+                                    for other_quota, other_busy in others:
+                                        shortfall = (
+                                            other_quota - len(other_busy)
+                                        )
+                                        if shortfall > 0:
+                                            reserved_unmet += shortfall
+                                    if reserved_unmet >= 1:
+                                        vpn_arr[walker] = None
+                                        walk_of[walker] = None
+                                        free_list.append(walker)
+                                        if policied and own:
+                                            my_busy.discard(walker)
+                                        break  # blocked: general stall
+                            # Redundant start on the just-freed walker.
+                            ready = cycle + dur
+                            walks_n += 1
+                            levels_sum += levels
+                            vpn_arr[walker] = vpn
+                            walk_of[walker] = walk
+                            completion_of[walker] = ready
+                            if policied and not own:
+                                my_busy.add(walker)
+                            seq += 1
+                            entry = (ready, seq, walker)
+                            if order and ready < order[-1][0]:
+                                insort(order, entry, idx)
+                            else:
+                                order_append(entry)
+                            my_walkers.append(walker)
+                            va = va_list[i]
+                            size = size_list[i]
+                            channel = (va >> 8) % n_channels
+                            free_at = channel_free[channel]
+                            start = ready if ready > free_at else free_at
+                            finish = start + size / ch_bw
+                            channel_free[channel] = finish
+                            done = finish + mem_latency
+                            if done > data_end:
+                                data_end = done
+                            total_bytes += size
+                            cycle += interval
+                            i += 1
+                        if flip:
+                            break
+                        continue
+                    # Fully blocked: one stall attempt, FIFO retry point
+                    # (the pool-wide earliest completion is the cursor
+                    # head); a hard-partitioned tenant at quota waits for
+                    # its own earliest walk instead.
+                    if (
+                        policied
+                        and not work_conserving
+                        and my_busy
+                        and my_quota is not None
+                        and len(my_busy) >= my_quota
+                    ):
+                        retry = min(completion_of[w] for w in my_busy)
+                    else:
+                        retry = order[idx][0] if idx < len(order) else inf
+                    if my_walkers is None:
+                        fresh_stall_n += 1  # the blocked probe missed PTS
+                    else:
+                        stalls_n += 1
+                    sc += retry - cycle if retry > cycle else 0.0
+                    stall += retry - cycle
+                    cycle = retry
+                if faulted or blocked or i >= n:
+                    break
+                if i >= j:
+                    # Next page.
+                    vpn = va_list[i] >> vpn_shift
+                    tkey = vpn | asid_bits
+                    tlb_set = tlb_sets[tkey & tlb_set_mask]
+                    j, run_streamable, rc = run_bounds(
+                        va_list, size_list, i, n, vpn, vpn_shift, meta, rc
+                    )
+                    run_vpn = vpn
+                    run_end = j
+                    walk = None
+                    my_walkers = pts_by_vpn.get(tkey)
+                # else: flipped to TLB hits; the loop top re-dispatches.
+
+            # Restore the live completion suffix (sorted == valid heap) and
+            # flush deferred counters, exactly as the general loop.
+            heap[:] = order[idx:]
+            pool._seq = seq
+            stats.stall_cycles = sc
+            started = walks_n + fresh_walk_n
+            if started:
+                stats.requests += started
+                pool_stats.walks += started
+                pool_stats.level_accesses += levels_sum
+            if started != released_n:
+                pts._count += started - released_n
+            if walks_n:
+                stats.redundant_walk_requests += walks_n
+                pool_stats.redundant_walks += walks_n
+            probes = started + stalls_n + fresh_stall_n
+            if probes:
+                tlb.misses += probes
+                pts.lookups += probes
+                pts.hits += walks_n + stalls_n
+            if stalls_n or fresh_stall_n:
+                stats.stall_events += stalls_n + fresh_stall_n
+            return (
+                i, cycle, data_end, total_bytes, stall, faulted,
+                rc, run_vpn, run_end, run_streamable,
+            )
+
+        self._np_runners[asid] = run
+        return run
+
     def _no_prmb_entry(
         self,
         transactions: Sequence[Transaction],
+        va_list: Sequence[int],
+        size_list: Sequence[int],
         i: int,
         n: int,
         vpn: int,
@@ -1151,17 +2016,29 @@ class TranslationEngine:
         """
         if run_vpn != vpn or i >= run_end:
             j, run_streamable, rc = _run_bounds(
-                transactions, i, n, vpn, self.mmu._vpn_shift, meta, rc
+                va_list, size_list, i, n, vpn, self.mmu._vpn_shift, meta, rc
             )
             run_vpn = vpn
             run_end = j
         else:
             j = run_end
         before = i
-        i, cycle, data_end, total_bytes, stall, faulted = self._no_prmb_run(
-            transactions, i, j, vpn, tkey, asid, cycle, data_end,
-            total_bytes, stall,
-        )
+        if self.mmu.pool._no_path_cache:
+            runner = self._np_runners.get(asid)
+            if runner is None:
+                runner = self._no_prmb_fifo_runner(asid)
+            (
+                i, cycle, data_end, total_bytes, stall, faulted,
+                rc, run_vpn, run_end, run_streamable,
+            ) = runner(
+                va_list, size_list, i, j, n, vpn, tkey, cycle, data_end,
+                total_bytes, stall, meta, rc, run_streamable,
+            )
+        else:
+            i, cycle, data_end, total_bytes, stall, faulted = self._no_prmb_run(
+                va_list, size_list, i, j, vpn, tkey, asid, cycle, data_end,
+                total_bytes, stall,
+            )
         tlb = self.mmu.tlb
         handled = not faulted and (
             i > before or tkey in tlb._sets[tkey & tlb._set_mask]
@@ -1254,6 +2131,14 @@ class TranslationEngine:
         total_bytes = 0
         n = len(transactions)
 
+        # Column projections (see _run_burst_batched).
+        va_list = getattr(transactions, "va_list", None)
+        if va_list is not None:
+            size_list = transactions.size_list
+        else:
+            va_list = [t[0] for t in transactions]
+            size_list = [t[1] for t in transactions]
+
         # DMA-provided run metadata (see _run_burst_batched).
         meta = getattr(transactions, "runs", None)
         if meta is not None and (
@@ -1270,7 +2155,8 @@ class TranslationEngine:
 
         i = 0
         while i < n:
-            va, size = transactions[i]
+            va = va_list[i]
+            size = size_list[i]
             vpn = va >> vpn_shift
             tkey = vpn | asid_bits
             if not prmb_capacity and tkey not in tlb_sets[tkey & tlb_set_mask]:
@@ -1281,13 +2167,20 @@ class TranslationEngine:
                     i, cycle, data_end, total_bytes, stall,
                     rc, run_vpn, run_end, run_streamable, handled,
                 ) = self._no_prmb_entry(
-                    transactions, i, n, vpn, tkey, asid, cycle, data_end,
-                    total_bytes, stall, meta, rc, run_vpn, run_end,
-                    run_streamable,
+                    transactions, va_list, size_list, i, n, vpn, tkey, asid,
+                    cycle, data_end, total_bytes, stall, meta, rc, run_vpn,
+                    run_end, run_streamable,
                 )
                 if handled:
                     continue
-                # i is unchanged here, so va/size/vpn/tkey are still valid.
+                # The whole-burst runner may have crossed page boundaries
+                # before faulting or blocking, so transaction ``i`` is not
+                # necessarily the one this iteration derived its locals
+                # from: re-derive them before the reference-step replay.
+                va = va_list[i]
+                size = size_list[i]
+                vpn = va >> vpn_shift
+                tkey = vpn | asid_bits
             # -- reference step for the segment's leading transaction ----
             if heap and heap[0][0] <= cycle:
                 process(cycle)
@@ -1323,7 +2216,7 @@ class TranslationEngine:
             i += 1
 
             # -- bulk continuation between interaction points ------------
-            while i < n and transactions[i][0] >> vpn_shift == vpn:
+            while i < n and va_list[i] >> vpn_shift == vpn:
                 if tkey in tlb_sets[tkey & tlb_set_mask]:
                     # Bulk TLB hits, bounded by the next walk completion:
                     # fills are retired exactly where the reference loop
@@ -1353,7 +2246,8 @@ class TranslationEngine:
                         stats.tlb_hits += 1
                         tlb.lookup(vpn, asid)
                         ready = cycle + tlb_latency
-                        va, size = transactions[i]
+                        va = va_list[i]
+                        size = size_list[i]
                         channel = (va >> 8) % n_channels
                         free_at = channel_free[channel]
                         start = ready if ready > free_at else free_at
@@ -1368,7 +2262,7 @@ class TranslationEngine:
                         continue
                     if run_vpn != vpn or i >= run_end:
                         j, run_streamable, rc = _run_bounds(
-                            transactions, i, n, vpn, vpn_shift, meta, rc
+                            va_list, size_list, i, n, vpn, vpn_shift, meta, rc
                         )
                         run_vpn = vpn
                         run_end = j
@@ -1378,7 +2272,7 @@ class TranslationEngine:
                     if span > t:
                         span = t
                     closed = False
-                    va0 = transactions[i][0]
+                    va0 = va_list[i]
                     if (
                         span >= 8
                         and run_streamable
@@ -1411,7 +2305,9 @@ class TranslationEngine:
                                 data_end = done
                             total_bytes += span * 256
                     if not closed:
-                        for va, size in transactions[i:i + span]:
+                        for va, size in zip(
+                            va_list[i:i + span], size_list[i:i + span]
+                        ):
                             ready = cycle + tlb_latency
                             channel = (va >> 8) % n_channels
                             free_at = channel_free[channel]
@@ -1434,9 +2330,9 @@ class TranslationEngine:
                         i, cycle, data_end, total_bytes, stall,
                         rc, run_vpn, run_end, run_streamable, handled,
                     ) = self._no_prmb_entry(
-                        transactions, i, n, vpn, tkey, asid, cycle,
-                        data_end, total_bytes, stall, meta, rc, run_vpn,
-                        run_end, run_streamable,
+                        transactions, va_list, size_list, i, n, vpn, tkey,
+                        asid, cycle, data_end, total_bytes, stall, meta,
+                        rc, run_vpn, run_end, run_streamable,
                     )
                     if not handled:
                         break  # the reference step raises / re-evaluates
@@ -1473,7 +2369,7 @@ class TranslationEngine:
                         break
                 if run_vpn != vpn or i >= run_end:
                     j, run_streamable, rc = _run_bounds(
-                        transactions, i, n, vpn, vpn_shift, meta, rc
+                        va_list, size_list, i, n, vpn, vpn_shift, meta, rc
                     )
                     run_vpn = vpn
                     run_end = j
@@ -1499,7 +2395,7 @@ class TranslationEngine:
                         span = t
                     if span > 0:
                         closed = False
-                        va0 = transactions[i][0]
+                        va0 = va_list[i]
                         if (
                             span >= 8
                             and run_streamable
@@ -1533,7 +2429,9 @@ class TranslationEngine:
                                 total_bytes += span * 256
                                 pos += span
                         if not closed:
-                            for va, size in transactions[i:i + span]:
+                            for va, size in zip(
+                                va_list[i:i + span], size_list[i:i + span]
+                            ):
                                 pos += 1
                                 ready = comp + pos
                                 channel = (va >> 8) % n_channels
@@ -1554,7 +2452,8 @@ class TranslationEngine:
                     # to one interval short of the completion horizon),
                     # bounded per transaction by the quota room.
                     while k < j and pos < cap and cycle < h_mine and k - i < room:
-                        va, size = transactions[k]
+                        va = va_list[k]
+                        size = size_list[k]
                         pos += 1
                         ready = comp + pos
                         channel = (va >> 8) % n_channels

@@ -43,6 +43,27 @@ from .walk_info import WalkResolver
 #: Valid ``path_cache`` settings.
 PATH_CACHE_KINDS = ("none", "tpreg", "tpc", "uptc")
 
+#: Valid ``engine_mode`` settings: ``columnar`` is the structure-of-arrays
+#: fast representation; ``reference`` is the per-object golden path the
+#: columnar engine is bit-identical to (the PR 1/PR 4 switch pattern).
+ENGINE_MODES = ("columnar", "reference")
+
+
+def default_engine_mode() -> str:
+    """Engine mode from ``NEUMMU_ENGINE`` (defaults to ``columnar``).
+
+    Invalid values raise here — at config construction — rather than deep
+    inside a run, so a typo'd environment variable fails loudly.
+    """
+    import os
+
+    mode = os.environ.get("NEUMMU_ENGINE", "columnar")
+    if mode not in ENGINE_MODES:
+        raise ValueError(
+            f"NEUMMU_ENGINE must be one of {ENGINE_MODES}, got {mode!r}"
+        )
+    return mode
+
 
 @dataclass(frozen=True)
 class MMUConfig:
@@ -74,8 +95,18 @@ class MMUConfig:
     #: :data:`~repro.core.qos.SHARE_POLICIES`.  ``full_share`` (the
     #: default) is bit-identical to the pre-QoS engine.
     qos: str = "full_share"
+    #: Transaction representation the engine runs on — one of
+    #: :data:`ENGINE_MODES`.  ``columnar`` threads structure-of-arrays
+    #: streams through DMA/TLB/PRMB/engine; ``reference`` keeps the
+    #: per-object path as the bit-identical golden reference.  Defaults
+    #: from the ``NEUMMU_ENGINE`` environment variable.
+    engine_mode: str = field(default_factory=default_engine_mode)
 
     def __post_init__(self) -> None:
+        if self.engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine_mode must be one of {ENGINE_MODES}, got {self.engine_mode!r}"
+            )
         if self.path_cache not in PATH_CACHE_KINDS:
             raise ValueError(
                 f"path_cache must be one of {PATH_CACHE_KINDS}, got {self.path_cache!r}"

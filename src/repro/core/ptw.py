@@ -113,6 +113,25 @@ class WalkerPool:
         self._walk_of: List[Optional[WalkInfo]] = [None] * n_walkers
         self._seq = 0
         self.stats = WalkerPoolStats()
+        # Flat ``asid -> walker_quota(asid, n_walkers)`` memo, validated
+        # against the policy's registry version (see TLB._quota_memo):
+        # the dispatch-eligibility checks otherwise re-ask the policy for
+        # the same constant answer on every blocked translation attempt.
+        self._wq_memo: Dict[int, Optional[int]] = {}
+        self._wq_version = -1
+
+    def _walker_quota(self, asid: int) -> Optional[int]:
+        """Memoized ``policy.walker_quota(asid, n_walkers)`` (policy mode)."""
+        policy = self._policy
+        if self._wq_version != policy.version:
+            self._wq_memo.clear()
+            self._wq_version = policy.version
+        try:
+            return self._wq_memo[asid]
+        except KeyError:
+            quota = policy.walker_quota(asid, self.n_walkers)
+            self._wq_memo[asid] = quota
+            return quota
 
     # ------------------------------------------------------------------ #
     # allocation                                                         #
@@ -161,7 +180,7 @@ class WalkerPool:
         policy = self._policy
         if policy is None:
             return True
-        quota = policy.walker_quota(asid, self.n_walkers)
+        quota = self._walker_quota(asid)
         if quota is None or self.busy_walkers_of(asid) < quota:
             return True
         if not policy.work_conserving:
@@ -170,7 +189,7 @@ class WalkerPool:
         for other in policy.asids:
             if other == asid:
                 continue
-            other_quota = policy.walker_quota(other, self.n_walkers)
+            other_quota = self._walker_quota(other)
             if other_quota is not None:
                 shortfall = other_quota - self.busy_walkers_of(other)
                 if shortfall > 0:
@@ -204,7 +223,7 @@ class WalkerPool:
         if policy is None or policy.work_conserving:
             return self.earliest_completion()
         busy = self._busy_by_asid.get(asid)
-        quota = policy.walker_quota(asid, self.n_walkers)
+        quota = self._walker_quota(asid)
         if busy and quota is not None and len(busy) >= quota:
             # At quota: another tenant's completion frees a walker this
             # tenant still may not use, so only its own walks matter —

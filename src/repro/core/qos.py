@@ -95,6 +95,12 @@ class SharePolicy:
         #: on the translate hot path otherwise; any registry change
         #: invalidates the whole cache.
         self._quota_cache: Dict[tuple, Optional[int]] = {}
+        #: Monotone registry version.  Bumped on every register/unregister
+        #: (the only events that can change a built-in policy's quota
+        #: answers), so enforcement sites may keep flat per-structure
+        #: quota memos and invalidate them by comparing one integer
+        #: instead of re-calling :meth:`quota` per fill or walk dispatch.
+        self.version = 0
         if weights:
             for asid, weight in weights.items():
                 self.register(asid, weight)
@@ -109,11 +115,13 @@ class SharePolicy:
             )
         self._weights[asid] = float(weight)
         self._quota_cache.clear()
+        self.version += 1
 
     def unregister(self, asid: int) -> None:
         """Drop one tenant; surviving tenants' shares grow accordingly."""
         self._weights.pop(asid, None)
         self._quota_cache.clear()
+        self.version += 1
 
     set_weight = register
 

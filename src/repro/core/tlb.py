@@ -90,6 +90,12 @@ class TLB:
             [{} for _ in self._sets] if self._policy is not None else None
         )
         self._stamp = 0
+        # Flat ``asid -> tlb_quota(asid, entries)`` memo, validated
+        # against the policy's registry version: the policied fill path
+        # (and its victim scan) otherwise re-asks the policy for the
+        # same constant answer on every insert.
+        self._quota_memo: Dict[int, Optional[int]] = {}
+        self._quota_version = -1
 
     def lookup(self, vpn: int, asid: int = 0) -> Optional[int]:
         """Probe the TLB; returns the cached PFN or None, updating LRU/stats."""
@@ -172,7 +178,14 @@ class TLB:
             self._bump_mirror(key, asid)
             return
         policy = self._policy
-        quota = policy.tlb_quota(asid, self.entries)
+        memo = self._quota_memo
+        if self._quota_version != policy.version:
+            memo.clear()
+            self._quota_version = policy.version
+        try:
+            quota = memo[asid]
+        except KeyError:
+            quota = memo[asid] = policy.tlb_quota(asid, self.entries)
         count = occupancy.get(asid, 0)
         victim = None
         if quota is not None and count >= quota:
@@ -243,10 +256,14 @@ class TLB:
             return next(iter(tenant_lru))
         if over_quota_first:
             policy = self._policy
+            memo = self._quota_memo
             best_key = None
             best_stamp = None
             for asid, count in self._asid_occupancy.items():
-                quota = policy.tlb_quota(asid, self.entries)
+                try:
+                    quota = memo[asid]
+                except KeyError:
+                    quota = memo[asid] = policy.tlb_quota(asid, self.entries)
                 if quota is None or count <= quota:
                     continue
                 tenant_lru = mirror.get(asid)

@@ -61,8 +61,13 @@ class MainMemory:
         self.total_accesses = 0
 
     def reset(self) -> None:
-        """Clear all queueing state and counters."""
-        self._channel_free = [0.0] * self.config.channels
+        """Clear all queueing state and counters.
+
+        ``_channel_free`` is cleared in place: the translation engine's
+        fused paths bind the list itself, so its identity must survive
+        resets.
+        """
+        self._channel_free[:] = [0.0] * self.config.channels
         self._rr_next = 0
         self.total_bytes = 0
         self.total_accesses = 0

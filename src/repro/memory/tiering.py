@@ -250,6 +250,16 @@ class TierTenant:
     resident_bytes: int = 0
     faults: int = 0
     evictions: int = 0
+    #: Bumped whenever a page *leaves* the resident set (budget
+    #: eviction).  FAST-fidelity timing caches stamp the epoch their
+    #: converged tile timings were measured under and drop them when it
+    #: moves — a timing observed while a page was local is stale once
+    #: that page has been evicted.  Pages *joining* the set never move
+    #: the epoch: a signature measured earlier either faulted the
+    #: newcomer in itself during sampling or never touches it, so its
+    #: timing stays valid and cold-start fault storms don't wipe the
+    #: cache on every step.
+    residency_epoch: int = 0
 
 
 class LocalMemoryTier:
@@ -403,12 +413,24 @@ class LocalMemoryTier:
                 break
             size = resident.pop(evicted)
             tenant.resident_bytes -= size
+            tenant.residency_epoch += 1
             base = evicted << self._vpn_shift
             tenant.space.page_table.unmap_page(base, page_size)
             mmu.shootdown(evicted, asid)
             tenant.evictions += 1
 
     # -- aggregates ------------------------------------------------------ #
+
+    def residency_epoch(self, asid: int) -> int:
+        """The tenant's residency epoch (0 for unregistered ASIDs).
+
+        Moves whenever a page is evicted from the tenant's resident set,
+        so FAST-fidelity timing caches can tell whether their converged
+        tile timings were measured under the current residency regime
+        (see :class:`TierTenant` for why only removals count).
+        """
+        tenant = self.tenants.get(asid)
+        return tenant.residency_epoch if tenant is not None else 0
 
     def migrated_bytes_of(self, asid: int) -> int:
         """Bytes migrated in for one tenant — read from the fabric's

@@ -76,20 +76,32 @@ class _TimingCache:
     cache carries a stale epoch drops all of it and re-warms — converged
     timings embed the contention of the tenants that were active when
     they were measured, so they are only valid within one epoch.
+
+    ``residency_epoch`` is the analogous stamp for demand paging: the
+    paging tier bumps a tenant's epoch whenever a page is *evicted* from
+    its resident set
+    (:meth:`~repro.memory.tiering.LocalMemoryTier.residency_epoch`), so
+    timings measured while a tile's pages were local are dropped once an
+    eviction moves the tenant into a different residency regime instead
+    of being replayed as if nothing changed.  Pages migrating *in* leave
+    the stamp alone — they cannot stale a timing measured before them —
+    so cold-start fault storms still warm the cache normally.
     """
 
-    __slots__ = ("history", "converged", "epoch")
+    __slots__ = ("history", "converged", "epoch", "residency_epoch")
 
-    def __init__(self, epoch: int = 0):
+    def __init__(self, epoch: int = 0, residency_epoch: int = 0):
         self.history: Dict[Tuple, List[Tuple[float, float]]] = {}
         self.converged: Dict[Tuple, Tuple[float, float]] = {}
         self.epoch = epoch
+        self.residency_epoch = residency_epoch
 
-    def invalidate(self, epoch: int) -> None:
-        """Drop every cached timing and adopt the new contention epoch."""
+    def invalidate(self, epoch: int, residency_epoch: int = 0) -> None:
+        """Drop every cached timing and adopt the new epochs."""
         self.history.clear()
         self.converged.clear()
         self.epoch = epoch
+        self.residency_epoch = residency_epoch
 
 
 @dataclass
@@ -131,6 +143,11 @@ def normalized_performance(oracle: RunResult, candidate: RunResult) -> float:
     return oracle.total_cycles / candidate.total_cycles
 
 
+
+#: (id(workload), page_size, memory_bytes, npu config) -> (workload,
+#: address space, schedules, columnar stream cache).  See NPUSimulator.
+_CONSTRUCTION_CACHE: Dict[tuple, tuple] = {}
+
 class NPUSimulator:
     """Runs one workload under one MMU configuration."""
 
@@ -165,13 +182,36 @@ class NPUSimulator:
         #: tenant's local residency (the tier default when None).
         self._paging = paging_tier
 
-        self.address_space = AddressSpace(
-            memory_bytes=memory_bytes, page_size=mmu_config.page_size
-        )
+        # Construction cache: tensor allocation, page-table population and
+        # tile planning are pure functions of (workload, page size, memory
+        # size, NPU config), and policy sweeps rebuild the same tenant
+        # dozens of times.  Demand-paged tenants are excluded — their page
+        # tables mutate during the run.  Keys carry a strong reference to
+        # the workload, so an id() can never be recycled while its entry
+        # is alive.
+        cached = None
+        construction_key = None
+        if paging_tier is None:
+            construction_key = (
+                id(workload), mmu_config.page_size, memory_bytes,
+                repr(self.npu_config),
+            )
+            cached = _CONSTRUCTION_CACHE.get(construction_key)
+        if cached is not None:
+            _, self.address_space, prebuilt_schedules, stream_cache = cached
+        else:
+            self.address_space = AddressSpace(
+                memory_bytes=memory_bytes, page_size=mmu_config.page_size
+            )
+            prebuilt_schedules = None
+            stream_cache = {}
         self.dma = DMAEngine(self.npu_config)
         # Run metadata on generated streams must match the MMU's page size
         # for the engine's batched fast path to use it.
         self.dma.run_page_size = mmu_config.page_size
+        # Columnar engine mode: the DMA emits structure-of-arrays streams
+        # natively; the reference mode keeps the per-object golden path.
+        self.dma.emit_columns = mmu_config.engine_mode == "columnar"
         self._shared = shared_mmu
         if shared_mmu is not None:
             # Multi-tenant mode: this simulator is one tenant of a shared
@@ -200,7 +240,22 @@ class NPUSimulator:
             paging_tier.register_tenant(
                 asid, self.address_space, memory_budget
             )
-        self._schedules = self._build_schedules()
+        if prebuilt_schedules is not None:
+            self._schedules = prebuilt_schedules
+        else:
+            self._schedules = self._build_schedules()
+            if construction_key is not None:
+                if len(_CONSTRUCTION_CACHE) > 64:
+                    _CONSTRUCTION_CACHE.clear()
+                _CONSTRUCTION_CACHE[construction_key] = (
+                    workload, self.address_space, self._schedules,
+                    stream_cache,
+                )
+        if construction_key is not None and self.dma.emit_columns:
+            # Columnar streams are immutable array bundles, so tile
+            # fetches of a cached schedule can share them across runs;
+            # the object-mode stream is rebuilt per run as before.
+            self.dma._stream_cache = stream_cache
 
     # ------------------------------------------------------------------ #
     # setup                                                              #
@@ -388,7 +443,10 @@ class _TenantRun:
         # keyed by step signature and stamped with the contention epoch
         # the timings were measured under (see _TimingCache).
         self.timing_cache = _TimingCache(
-            sim._shared.contention_epoch if sim._shared is not None else 0
+            sim._shared.contention_epoch if sim._shared is not None else 0,
+            sim._paging.residency_epoch(sim.asid)
+            if sim._paging is not None
+            else 0,
         )
         self.layer_idx = 0
         self.step_idx = 0
@@ -443,6 +501,30 @@ class _TenantRun:
         """
         return max(self.mem_free, self.prev_prev_comp_end)
 
+    def _sync_timing_epochs(self) -> None:
+        """Drop cached timings measured under a stale regime.
+
+        Two regimes stamp the cache: the shared MMU's contention epoch
+        (tenant set / weights / policy state) and the paging tier's
+        per-tenant residency epoch (which pages are local).  Converged
+        timings are only valid while both stand still; when either moves
+        the cache re-warms against the new regime.
+        """
+        sim = self.sim
+        cache = self.timing_cache
+        shared = sim._shared
+        contention = (
+            shared.contention_epoch if shared is not None else cache.epoch
+        )
+        paging = sim._paging
+        residency = (
+            paging.residency_epoch(sim.asid)
+            if paging is not None
+            else cache.residency_epoch
+        )
+        if cache.epoch != contention or cache.residency_epoch != residency:
+            cache.invalidate(contention, residency)
+
     def advance(self) -> int:
         """Execute one tile step (fetch + compute bookkeeping).
 
@@ -455,14 +537,7 @@ class _TenantRun:
         if self.done:
             raise RuntimeError("tenant already finished")
         sim = self.sim
-        shared = sim._shared
-        if (
-            shared is not None
-            and self.timing_cache.epoch != shared.contention_epoch
-        ):
-            # The tenant set / policy state changed: every converged
-            # timing was measured under a different contention regime.
-            self.timing_cache.invalidate(shared.contention_epoch)
+        self._sync_timing_epochs()
         requests_before = sim.mmu.stats.requests
         step = sim._schedules[self.layer_idx].steps[self.step_idx]
 
@@ -529,12 +604,7 @@ class _TenantRun:
         paging = sim._paging
         if paging is not None and paging.fabric.busy_beyond(self.clock):
             return 0
-        shared = sim._shared
-        if (
-            shared is not None
-            and self.timing_cache.epoch != shared.contention_epoch
-        ):
-            self.timing_cache.invalidate(shared.contention_epoch)
+        self._sync_timing_epochs()
         converged = self.timing_cache.converged
         gemm_cycles = sim.compute_model.gemm_cycles
         schedules = sim._schedules

@@ -36,15 +36,27 @@ DENSE_WORKLOADS: Dict[str, Callable[[int], Workload]] = {
 DENSE_BATCHES = (1, 4, 8)
 
 
+#: Grid points are revisited constantly (policy sweeps, tenant mixes, the
+#: parallel runner) and :class:`Workload` is frozen, so each one is built
+#: once and shared; the simulator's construction cache keys on workload
+#: identity and relies on this.
+_DENSE_CACHE: Dict[tuple, Workload] = {}
+
+
 def dense_workload(name: str, batch: int = 1) -> Workload:
     """Instantiate a dense benchmark by its paper id (e.g. ``"CNN-1"``)."""
+    key = (name, batch)
+    cached = _DENSE_CACHE.get(key)
+    if cached is not None:
+        return cached
     try:
         factory = DENSE_WORKLOADS[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; choose from {sorted(DENSE_WORKLOADS)}"
         ) from None
-    return factory(batch)
+    workload = _DENSE_CACHE[key] = factory(batch)
+    return workload
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,69 @@
+"""The bench_perf regression gate (``--check``) semantics.
+
+The gate must be machine-independent: it compares each scenario's
+throughput ratio against the committed root ``BENCH_perf.json``
+normalized by the cross-scenario median, so uniform machine-speed
+differences cancel and only relative regressions fail.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.bench_perf import (
+    REGRESSION_TOLERANCE,
+    REPO_ROOT,
+    check_regressions,
+)
+
+COMMITTED = REPO_ROOT / "BENCH_perf.json"
+
+
+def scaled_doc(scale=1.0):
+    committed = json.loads(COMMITTED.read_text())
+    return {
+        "scenarios": {
+            name: {
+                "translations_per_sec": round(
+                    rec["translations_per_sec"] * scale
+                )
+            }
+            for name, rec in committed["scenarios"].items()
+        }
+    }
+
+
+def test_committed_record_has_throughputs():
+    committed = json.loads(COMMITTED.read_text())
+    assert committed["scenarios"], "committed BENCH_perf.json lost its scenarios"
+    for name, rec in committed["scenarios"].items():
+        assert rec["translations_per_sec"] > 0, name
+
+
+@pytest.mark.parametrize("scale", [0.25, 1.0, 4.0])
+def test_uniform_machine_speed_cancels(scale):
+    assert check_regressions(scaled_doc(scale), COMMITTED) == []
+
+
+def test_single_scenario_regression_fails():
+    doc = scaled_doc(0.5)  # a slow machine, uniformly
+    bad = 1.0 - REGRESSION_TOLERANCE - 0.1
+    doc["scenarios"]["qos_sweep"]["translations_per_sec"] = round(
+        doc["scenarios"]["qos_sweep"]["translations_per_sec"] * bad
+    )
+    failures = check_regressions(doc, COMMITTED)
+    assert len(failures) == 1 and "qos_sweep" in failures[0]
+
+
+def test_within_tolerance_passes():
+    doc = scaled_doc(1.0)
+    ok = 1.0 - REGRESSION_TOLERANCE + 0.05
+    doc["scenarios"]["single_tenant"]["translations_per_sec"] = round(
+        doc["scenarios"]["single_tenant"]["translations_per_sec"] * ok
+    )
+    assert check_regressions(doc, COMMITTED) == []
+
+
+def test_missing_baseline_reports_actionably(tmp_path):
+    failures = check_regressions(scaled_doc(), tmp_path / "nope.json")
+    assert failures and "nope.json" in failures[0]

@@ -225,3 +225,69 @@ class TestContentionEpoch:
         sim = NPUSimulator(tiny_workload("solo"), neummu_config())
         result = sim.run()
         assert result.total_cycles > 0
+
+
+class TestResidencyEpoch:
+    """Converged timings are scoped to one residency regime too.
+
+    Demand paging adds a second regime axis next to contention: a tile
+    timing measured while its pages were local is stale once an eviction
+    (or refault) changes what is resident.  The paging tier bumps a
+    per-tenant residency epoch on every resident-set change and the
+    timing cache re-warms when it moves.
+    """
+
+    def make_sim(self):
+        mb = 1024 * 1024
+        return MultiTenantSimulator(
+            [tiny_workload("a"), tiny_workload("b")],
+            neummu_config(),
+            memory_budgets=(256 * mb, 256 * mb),
+        )
+
+    def test_runs_adopt_current_residency_epoch_at_creation(self):
+        sim = self.make_sim()
+        run = _TenantRun(sim.tenants[0])
+        assert run.timing_cache.residency_epoch == sim.paging.residency_epoch(0)
+
+    def test_first_touch_faults_leave_the_epoch_alone(self):
+        # Generous budgets: pages only ever join the resident set, so
+        # the cold-start fault storm must not wipe the warming cache.
+        sim = self.make_sim()
+        run = _TenantRun(sim.tenants[0])
+        before = sim.paging.residency_epoch(0)
+        run.advance()
+        assert sim.paging.tenants[0].faults > 0
+        assert sim.paging.tenants[0].evictions == 0
+        assert sim.paging.residency_epoch(0) == before
+
+    def test_residency_change_invalidates_memoization(self):
+        sim = self.make_sim()
+        run = _TenantRun(sim.tenants[0])
+        while run.step_counter < 6 and not run.done:
+            run.advance()
+        assert not run.done, "workload too small to stop mid-run"
+        cache = run.timing_cache
+        tier = sim.paging
+        run._sync_timing_epochs()
+        assert cache.residency_epoch == tier.residency_epoch(0)
+
+        # Pin a converged timing under the current regime; a sync with
+        # no residency movement must leave it alone.
+        sig = ("warmed",)
+        cache.history[sig] = [(100.0, 10.0)]
+        cache.converged[sig] = (100.0, 10.0)
+        run._sync_timing_epochs()
+        assert cache.converged, "stable residency must not drop timings"
+
+        # A budget eviction moves this tenant into a different residency
+        # regime: every cached timing was measured against pages that
+        # are no longer (all) local, so the cache drops wholesale...
+        tier.tenants[0].residency_epoch += 1
+        run._sync_timing_epochs()
+        assert not cache.history and not cache.converged
+        assert cache.residency_epoch == tier.residency_epoch(0)
+
+        # ...and the next step re-simulates, re-warming from scratch.
+        run.advance()
+        assert run.timing_cache.history

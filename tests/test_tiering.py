@@ -445,3 +445,29 @@ class TestPagedNPUSimulator:
         # The departed tenant's fabric attribution survives teardown.
         assert sim.paging.fabric.usage[1].bytes_moved == departed_bytes
         assert runs[0].done
+
+
+class TestResidencyEpoch:
+    """The per-tenant residency epoch (FAST timing-cache regime stamp)."""
+
+    def test_unregistered_asid_reads_zero(self):
+        mmu, tier, _ = two_context_tier()
+        assert tier.residency_epoch(7) == 0
+
+    def test_evictions_move_the_epoch_but_migrations_in_do_not(self):
+        mmu, tier, spaces = two_context_tier(budget_pages_1=2)
+        seg = spaces[1].segments()[0]
+        vpns = [(seg.va + i * PAGE) >> 12 for i in range(4)]
+        assert tier.residency_epoch(1) == 0
+        cycle = 0.0
+        for vpn in vpns[:2]:
+            cycle = tier.handle_fault(vpn, cycle, asid=1)
+        # Within budget: pages joined the resident set, nothing left it,
+        # so earlier-measured timings are still valid.
+        assert tier.residency_epoch(1) == 0
+        tier.handle_fault(vpns[2], cycle, asid=1)
+        # Over budget: the eviction is what can stale a cached timing.
+        assert tier.residency_epoch(1) == 1
+        assert tier.tenants[1].evictions == 1
+        # The other tenant's regime never moved.
+        assert tier.residency_epoch(0) == 0
