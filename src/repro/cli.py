@@ -307,6 +307,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for the on-disk simulation-result cache",
     )
     _add_profile_flag(report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simlint determinism/layering static-analysis pass",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the src/ tree)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULE[,RULE...]",
+        help="run only these rules",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="RULE[,RULE...]",
+        help="skip these rules",
+    )
+    lint.add_argument(
+        "--severity-threshold", choices=("warning", "error"), default=None,
+        help="findings at or above this severity fail the run "
+             "(default: warning, i.e. any finding fails)",
+    )
     return parser
 
 
@@ -520,6 +546,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``neummu lint``: the simlint pass (see tools/simlint/).
+
+    ``tools`` lives at the repository root, outside the installed
+    package, so fall back to inserting the repo root on ``sys.path``
+    when running from a source checkout.
+    """
+    try:
+        from tools.simlint import main as simlint_main
+    except ImportError:
+        repo_root = Path(__file__).resolve().parents[2]
+        if not (repo_root / "tools" / "simlint").is_dir():
+            print(
+                "neummu lint needs the tools/simlint package (run from a "
+                "source checkout)",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, str(repo_root))
+        from tools.simlint import main as simlint_main
+
+    argv: List[str] = list(args.paths)
+    if not argv:
+        argv = [str(Path(__file__).resolve().parents[1])]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.select is not None:
+        argv.extend(["--select", args.select])
+    if args.ignore is not None:
+        argv.extend(["--ignore", args.ignore])
+    if args.severity_threshold is not None:
+        argv.extend(["--severity-threshold", args.severity_threshold])
+    return simlint_main(argv)
+
+
 def _profiled(handler, args) -> int:
     """Run ``handler(args)`` under cProfile; print the top-20 hot spots.
 
@@ -546,7 +607,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    handlers = {"run": _cmd_run, "compare": _cmd_compare, "report": _cmd_report}
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+        "lint": _cmd_lint,
+    }
     handler = handlers.get(args.command)
     if handler is None:
         raise AssertionError(f"unhandled command {args.command!r}")

@@ -55,6 +55,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..memory.address import ASID_SHIFT
 from ..memory.dram import MainMemory
 from .mmu import MMU, TranslationFault
+from .tlb import TLB
 
 #: A DMA transaction: (virtual address, size in bytes).
 Transaction = Tuple[int, int]
@@ -68,8 +69,26 @@ Transaction = Tuple[int, int]
 #: shootdown path.
 FaultHandler = Callable[[int, float, int], float]
 
+#: The fused FIFO no-PRMB segment runner built per ASID by
+#: :meth:`TranslationEngine._no_prmb_fifo_runner`.  Returns the updated
+#: ``(i, cycle, data_end, total_bytes, stall, faulted, rc, run_vpn,
+#: run_end, run_streamable)`` segment state.
+NoPrmbRunner = Callable[
+    ...,
+    Tuple[int, float, float, int, float, bool, int, int, int, bool],
+]
 
-def _run_bounds(va_list, size_list, i, n, vpn, vpn_shift, meta, rc):
+
+def _run_bounds(
+    va_list: Sequence[int],
+    size_list: Sequence[int],
+    i: int,
+    n: int,
+    vpn: int,
+    vpn_shift: int,
+    meta: Optional[Sequence[Tuple[int, bool]]],
+    rc: int,
+) -> Tuple[int, bool, int]:
     """Bounds of the same-page run starting at index ``i``.
 
     Returns ``(j, streamable, rc)``: the run's end index, whether it is
@@ -128,7 +147,7 @@ class TranslationEngine:
         timeline_window: int = 0,
         fault_handler: Optional[FaultHandler] = None,
         batched: bool = True,
-    ):
+    ) -> None:
         if issue_interval <= 0:
             raise ValueError("issue interval must be positive")
         self.mmu = mmu
@@ -152,7 +171,7 @@ class TranslationEngine:
         self.timeline: Dict[int, int] = defaultdict(int)
         #: asid -> fused FIFO no-PRMB segment runner (closure over the
         #: MMU's stable structures; see :meth:`_no_prmb_fifo_runner`).
-        self._np_runners: Dict[int, Callable] = {}
+        self._np_runners: Dict[int, NoPrmbRunner] = {}
 
     # ------------------------------------------------------------------ #
     # dispatch                                                           #
@@ -474,8 +493,11 @@ class TranslationEngine:
         tlb = mmu.tlb
         tlb_latency = mmu._tlb_latency
         pool = mmu.pool
-        heap = pool.heap
         pts = mmu.pts
+        # Batched paths only run on translated (non-oracle) single-level
+        # TLB configurations; make the invariant explicit for narrowing.
+        assert isinstance(tlb, TLB) and pool is not None and pts is not None
+        heap = pool.heap
         pts_by_vpn = pts._by_vpn
         buffers = pool._buffers
         completion_of = pool._completion_of
@@ -923,6 +945,7 @@ class TranslationEngine:
                     room = cap - pos
                     avail = j - i
                     span = avail if avail < room else room
+                    # simlint: disable=cyc-true-div -- horizon/interval live in the float cycle domain; int() truncation is the reference semantics and // floors differently at float boundaries, breaking bit-identity
                     t = int((h_mine - cycle) / interval) - 1
                     if t < span:
                         span = t
@@ -1096,7 +1119,7 @@ class TranslationEngine:
         data_end: float,
         total_bytes: int,
         stall: float,
-    ):
+    ) -> Tuple[int, float, float, int, float, bool]:
         """Fused same-page continuation for PRMB-less MMUs (the
         baseline-IOMMU regime).
 
@@ -1123,6 +1146,9 @@ class TranslationEngine:
         pool = mmu.pool
         pts = mmu.pts
         tlb = mmu.tlb
+        # Fused FIFO paths only run on translated single-level TLB
+        # configurations; make the invariant explicit for narrowing.
+        assert isinstance(tlb, TLB) and pool is not None and pts is not None
         stats = mmu.stats
         pool_stats = pool.stats
         heap = pool.heap
@@ -1292,6 +1318,7 @@ class TranslationEngine:
                 and my_quota is not None
                 and len(my_busy) >= my_quota
             ):
+                # simlint: disable=det-set-iter -- min() over completion cycles is order-independent: floats are totally ordered and ties yield the same value, so hash order cannot leak into timing
                 retry = min(completion_of[w] for w in my_busy)
             else:
                 retry = heap[0][0] if heap else inf
@@ -1327,7 +1354,7 @@ class TranslationEngine:
             stats.stall_events += stalls_n + fresh_stall_n
         return i, cycle, data_end, total_bytes, stall, faulted
 
-    def _no_prmb_fifo_runner(self, asid: int):
+    def _no_prmb_fifo_runner(self, asid: int) -> NoPrmbRunner:
         """Build (and cache) the fused FIFO no-PRMB segment runner for one
         address space.
 
@@ -1379,6 +1406,9 @@ class TranslationEngine:
         pool = mmu.pool
         pts = mmu.pts
         tlb = mmu.tlb
+        # Fused FIFO paths only run on translated single-level TLB
+        # configurations; make the invariant explicit for narrowing.
+        assert isinstance(tlb, TLB) and pool is not None and pts is not None
         stats = mmu.stats
         pool_stats = pool.stats
         heap = pool.heap
@@ -1431,8 +1461,22 @@ class TranslationEngine:
         my_busy = None
         others = ()
 
-        def run(va_list, size_list, i, j, n, vpn, tkey, cycle, data_end,
-                total_bytes, stall, meta, rc, run_streamable):
+        def run(
+            va_list: Sequence[int],
+            size_list: Sequence[int],
+            i: int,
+            j: int,
+            n: int,
+            vpn: int,
+            tkey: int,
+            cycle: float,
+            data_end: float,
+            total_bytes: int,
+            stall: float,
+            meta: Optional[Sequence[Tuple[int, bool]]],
+            rc: int,
+            run_streamable: bool,
+        ) -> Tuple[int, float, float, int, float, bool, int, int, int, bool]:
             nonlocal order, idx
             nonlocal pol_obj, pol_ver, my_quota, work_conserving, my_busy, others
             live = len(order) - idx
@@ -1548,6 +1592,7 @@ class TranslationEngine:
                             horizon = next_event(asid, cycle)
                             if horizon < h:
                                 h = horizon
+                        # simlint: disable=cyc-true-div -- horizon/interval live in the float cycle domain; int() truncation is the reference semantics and // floors differently at float boundaries, breaking bit-identity
                         t = int((h - cycle) / interval) - 1 if h != inf else n
                         if t <= 0:
                             # Horizon-boundary transaction: one reference
@@ -1924,6 +1969,7 @@ class TranslationEngine:
                         and my_quota is not None
                         and len(my_busy) >= my_quota
                     ):
+                        # simlint: disable=det-set-iter -- min() over completion cycles is order-independent: floats are totally ordered and ties yield the same value, so hash order cannot leak into timing
                         retry = min(completion_of[w] for w in my_busy)
                     else:
                         retry = order[idx][0] if idx < len(order) else inf
@@ -1994,12 +2040,12 @@ class TranslationEngine:
         data_end: float,
         total_bytes: int,
         stall: float,
-        meta,
+        meta: Optional[Sequence[Tuple[int, bool]]],
         rc: int,
         run_vpn: int,
         run_end: int,
         run_streamable: bool,
-    ):
+    ) -> Tuple[int, float, float, int, float, int, int, int, bool, bool]:
         """Run-bounds memoization + :meth:`_no_prmb_run` dispatch.
 
         The single entry shared by the batched and contended paths (they
@@ -2023,7 +2069,9 @@ class TranslationEngine:
         else:
             j = run_end
         before = i
-        if self.mmu.pool._no_path_cache:
+        pool = self.mmu.pool
+        assert pool is not None  # batched entry is never reached in oracle mode
+        if pool._no_path_cache:
             runner = self._np_runners.get(asid)
             if runner is None:
                 runner = self._no_prmb_fifo_runner(asid)
@@ -2040,6 +2088,7 @@ class TranslationEngine:
                 total_bytes, stall,
             )
         tlb = self.mmu.tlb
+        assert isinstance(tlb, TLB)
         handled = not faulted and (
             i > before or tkey in tlb._sets[tkey & tlb._set_mask]
         )
@@ -2099,8 +2148,11 @@ class TranslationEngine:
         tlb = mmu.tlb
         tlb_latency = mmu._tlb_latency
         pool = mmu.pool
-        heap = pool.heap
         pts = mmu.pts
+        # Batched paths only run on translated (non-oracle) single-level
+        # TLB configurations; make the invariant explicit for narrowing.
+        assert isinstance(tlb, TLB) and pool is not None and pts is not None
+        heap = pool.heap
         pts_by_vpn = pts._by_vpn
         buffers = pool._buffers
         completion_of = pool._completion_of
@@ -2234,6 +2286,7 @@ class TranslationEngine:
                         h = horizon
                     # Conservative count of transactions that issue
                     # strictly before the horizon.
+                    # simlint: disable=cyc-true-div -- horizon/interval live in the float cycle domain; int() truncation is the reference semantics and // floors differently at float boundaries, breaking bit-identity
                     t = int((h - cycle) / interval) - 1 if h != inf else n
                     if t <= 0:
                         # Horizon-boundary transaction: exactly one
@@ -2390,6 +2443,7 @@ class TranslationEngine:
                     span = avail if avail < room_w else room_w
                     if room < span:
                         span = room
+                    # simlint: disable=cyc-true-div -- horizon/interval live in the float cycle domain; int() truncation is the reference semantics and // floors differently at float boundaries, breaking bit-identity
                     t = int((h_mine - cycle) / interval) - 1
                     if t < span:
                         span = t

@@ -24,7 +24,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+if TYPE_CHECKING:  # runtime imports are deferred to avoid module cycles
+    from ..memory.dram import MainMemory
+    from ..memory.tiering import LocalMemoryTier
+    from .engine import BurstResult, Transaction
+    from .walk_info import WalkInfo
 
 from ..memory.address import ASID_SHIFT, MAX_ASID, PAGE_SIZE_4K, page_offset_bits
 from ..memory.page_table import PageTable
@@ -34,10 +40,12 @@ from .mmu_cache import (
     TranslationPathCache,
     UnifiedPageTableCache,
 )
+from .prefetch import NextPagePrefetcher
 from .pts import PendingTranslationScoreboard
 from .ptw import WalkerPool
 from .qos import SHARE_POLICIES, SharePolicy, make_share_policy
 from .stats import RunSummary, TranslationStats
+from .tlb import TLB, TwoLevelTLB
 from .walk_info import WalkResolver
 
 #: Valid ``path_cache`` settings.
@@ -179,7 +187,7 @@ def neummu_config(
 class TranslationFault(Exception):
     """A translation reached a non-present page and no fault handler ran."""
 
-    def __init__(self, vpn: int):
+    def __init__(self, vpn: int) -> None:
         super().__init__(f"page fault translating VPN 0x{vpn:x}")
         self.vpn = vpn
 
@@ -204,10 +212,7 @@ class MMU:
         config: MMUConfig,
         page_table: Optional[PageTable],
         share_policy: Optional[SharePolicy] = None,
-    ):
-        from .prefetch import NextPagePrefetcher
-        from .tlb import TLB, TwoLevelTLB  # deferred to avoid doc-build cycles
-
+    ) -> None:
         self.config = config
         #: The QoS layer's tenant share policy; every shared structure
         #: below consults it.  Defaults to the policy named by
@@ -223,17 +228,24 @@ class MMU:
         #: completes (freeing the walker) but must not fill the TLB with
         #: the stale PFN.  Keyed by walker id so a *fresh* post-shootdown
         #: walk for the same page fills normally.
-        self._poisoned_walkers: set = set()
+        self._poisoned_walkers: Set[int] = set()
         #: Optional demand-paged memory tier
         #: (:class:`~repro.memory.tiering.LocalMemoryTier`) whose fault
         #: handler drives page migration through this MMU's shootdown
         #: path.  Set by :meth:`LocalMemoryTier.bind`.
-        self.paging_tier = None
+        self.paging_tier: Optional[LocalMemoryTier] = None
         self.stats = TranslationStats()
         self._vpn_shift = page_offset_bits(config.page_size)
         self._tlb_latency = config.tlb_hit_latency
         self._prmb_slots = config.prmb_slots
 
+        #: All four are None only in oracle mode (free translation); the
+        #: non-oracle invariant — tlb/pts/pool present — is asserted by
+        #: the hot paths that rely on it.
+        self.tlb: Optional[Union[TLB, TwoLevelTLB]]
+        self.pts: Optional[PendingTranslationScoreboard]
+        self.pool: Optional[WalkerPool]
+        self.prefetcher: Optional[NextPagePrefetcher]
         if config.oracle:
             self.tlb = None
             self.pts = None
@@ -425,10 +437,15 @@ class MMU:
                 raise TranslationFault(vpn)
             return (cycle, 0.0)
 
+        tlb, pts, pool = self.tlb, self.pts, self.pool
+        assert tlb is not None and pts is not None and pool is not None
+        pfn: Optional[int]
         if self._two_level:
-            pfn, hit_latency = self.tlb.lookup(vpn, asid)
+            assert isinstance(tlb, TwoLevelTLB)
+            pfn, hit_latency = tlb.lookup(vpn, asid)
         else:
-            pfn = self.tlb.lookup(vpn, asid)
+            assert not isinstance(tlb, TwoLevelTLB)
+            pfn = tlb.lookup(vpn, asid)
             hit_latency = self._tlb_latency
         if pfn is not None:
             stats.tlb_hits += 1
@@ -436,19 +453,19 @@ class MMU:
                 self.prefetcher.on_demand_hit(vpn, asid)
             return (cycle + hit_latency, 0.0)
 
-        walkers = self.pts.lookup(vpn, asid)
+        walkers = pts.lookup(vpn, asid)
         redundant = walkers is not None
         if redundant and self.prefetcher is not None:
             # The page's walk is already in flight — possibly ours.
             self.prefetcher.on_demand_hit(vpn, asid)
-        if walkers is not None and self._prmb_slots and self.pool.can_merge(asid):
+        if walkers is not None and self._prmb_slots and pool.can_merge(asid):
             for walker in walkers:
-                ready = self.pool.merge_into(walker)
+                ready = pool.merge_into(walker)
                 if ready >= 0:
                     stats.merges += 1
                     return (ready, 0.0)
 
-        if self.pool.can_start(asid):
+        if pool.can_start(asid):
             walk = resolver.resolve_vpn(vpn)
             if walk is None:
                 stats.requests -= 1  # the retried request will recount
@@ -466,17 +483,19 @@ class MMU:
         # unblock *this* context completes.  The retried request will be
         # recounted, so back out this attempt from the request tally.
         stats.requests -= 1
-        retry = self.pool.earliest_retry_for(asid)
+        retry = pool.earliest_retry_for(asid)
         stats.stall_events += 1
         stats.stall_cycles += max(0.0, retry - cycle)
         return (None, retry)
 
     def start_walk(
-        self, walk, cycle: float, redundant: bool = False
+        self, walk: WalkInfo, cycle: float, redundant: bool = False
     ) -> Tuple[int, float]:
         """Dispatch a walk and register it with the scoreboard."""
-        walker, completion = self.pool.start_walk(walk, cycle, redundant)
-        self.pts.register(walk.vpn, walker, walk.asid)
+        pool, pts = self.pool, self.pts
+        assert pool is not None and pts is not None  # walks never start in oracle mode
+        walker, completion = pool.start_walk(walk, cycle, redundant)
+        pts.register(walk.vpn, walker, walk.asid)
         return walker, completion
 
     def process_completions(self, cycle: float) -> None:
@@ -492,14 +511,13 @@ class MMU:
         """
         if self.config.oracle:
             return
-        pool = self.pool
+        pool, pts, tlb = self.pool, self.pts, self.tlb
+        assert pool is not None and pts is not None and tlb is not None
         heap = pool.heap
         if not heap or heap[0][0] > cycle:
             return
         poisoned = self._poisoned_walkers
-        pts = self.pts
         pts_by_vpn = pts._by_vpn
-        tlb = self.tlb
         heappop = heapq.heappop
         walk_of = pool._walk_of
         vpn_of = pool._vpn
@@ -545,6 +563,7 @@ class MMU:
         """Next cycle at which MMU state changes (``inf`` when idle)."""
         if self.config.oracle:
             return float("inf")
+        assert self.pool is not None
         return self.pool.earliest_completion()
 
     def drain(self) -> None:
@@ -575,6 +594,7 @@ class MMU:
                 tpreg_l3_rate=0.0,
                 tpreg_l2_rate=0.0,
             )
+        assert self.pool is not None and self.tlb is not None
         tpreg = self.pool.collect_tpreg_stats()
         l4, l3, l2 = tpreg.hit_rates()
         return RunSummary(
@@ -652,10 +672,10 @@ class SharedMMU:
     def __init__(
         self,
         config: MMUConfig,
-        memory=None,
+        memory: Optional[MainMemory] = None,
         issue_interval: float = 1.0,
         share_policy: Optional[SharePolicy] = None,
-    ):
+    ) -> None:
         from ..memory.dram import MainMemory, MemoryConfig
         from .engine import TranslationEngine  # deferred: engine imports mmu
 
@@ -674,11 +694,11 @@ class SharedMMU:
         return self.mmu.share_policy
 
     @property
-    def paging_tier(self):
+    def paging_tier(self) -> Optional[LocalMemoryTier]:
         """The attached demand-paged memory tier (None without paging)."""
         return self.mmu.paging_tier
 
-    def attach_paging(self, tier) -> None:
+    def attach_paging(self, tier: LocalMemoryTier) -> None:
         """Wire a :class:`~repro.memory.tiering.LocalMemoryTier` in.
 
         Binds the tier to this MMU (evictions route through the
@@ -722,7 +742,7 @@ class SharedMMU:
         """
         self.mmu.register_context(asid, page_table, weight=weight)
         self.usage[asid] = TenantUsage(asid=asid)
-        self._contention_epoch += 1
+        self.bump_contention_epoch()
         return self.usage[asid]
 
     def set_tenant_weight(self, asid: int, weight: float) -> None:
@@ -730,7 +750,7 @@ class SharedMMU:
         if asid not in self.mmu._resolvers:
             raise KeyError(f"no tenant registered for ASID {asid}")
         self.mmu.share_policy.set_weight(asid, weight)
-        self._contention_epoch += 1
+        self.bump_contention_epoch()
 
     def remove_tenant(self, asid: int) -> TenantUsage:
         """Tear down one tenant's context without disturbing the others.
@@ -742,7 +762,7 @@ class SharedMMU:
         survive teardown.
         """
         self.mmu.destroy_context(asid)
-        self._contention_epoch += 1
+        self.bump_contention_epoch()
         return self.usage[asid]
 
     @property
@@ -754,7 +774,12 @@ class SharedMMU:
         """
         return [asid for asid in self.usage if asid in self.mmu._resolvers]
 
-    def run_bursts(self, asid: int, bursts, start_cycle: float):
+    def run_bursts(
+        self,
+        asid: int,
+        bursts: Sequence[Sequence[Transaction]],
+        start_cycle: float,
+    ) -> Tuple[List[BurstResult], float]:
         """Run one tenant's back-to-back bursts through the shared engine.
 
         Returns ``(burst_results, data_end_cycle)`` exactly like

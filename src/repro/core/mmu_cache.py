@@ -83,11 +83,12 @@ class NullPathCache(PathCache):
 class UnifiedPageTableCache(PathCache):
     """UPTC: LRU cache of upper-level PTEs tagged by entry physical address."""
 
-    def __init__(self, entries: int = 16):
+    def __init__(self, entries: int = 16) -> None:
         if entries <= 0:
             raise ValueError(f"UPTC needs positive capacity, got {entries}")
         self.entries = entries
-        self._cache: OrderedDict = OrderedDict()
+        # (asid, entry PA) -> True, in LRU order.
+        self._cache: OrderedDict[Tuple[int, int], bool] = OrderedDict()
         self.stats = PathCacheStats()
 
     def lookup(self, walk: WalkInfo) -> int:
@@ -145,11 +146,12 @@ class TranslationPathCache(PathCache):
     per-prefix tag compares on the same entry array).
     """
 
-    def __init__(self, entries: int = 16):
+    def __init__(self, entries: int = 16) -> None:
         if entries <= 0:
             raise ValueError(f"TPC needs positive capacity, got {entries}")
         self.entries = entries
-        self._cache: OrderedDict = OrderedDict()  # (asid, path tuple) -> True
+        # (asid, path tuple) -> True, in LRU order.
+        self._cache: OrderedDict[Tuple[int, Tuple[int, ...]], bool] = OrderedDict()
         self.stats = PathCacheStats()
         # Per-level tag-match counters, comparable with TPregStats (Fig. 13).
         self.l4_hits = 0

@@ -18,10 +18,13 @@ bandwidth that demand bursts need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import TYPE_CHECKING, Optional, Set
 
 from ..memory.address import ASID_SHIFT, tagged_vpn
 from .walk_info import WalkResolver
+
+if TYPE_CHECKING:  # runtime import would cycle with core.mmu
+    from .mmu import MMU
 
 
 @dataclass
@@ -50,7 +53,7 @@ class NextPagePrefetcher:
     (``reserve`` walkers are always left free for demand traffic).
     """
 
-    def __init__(self, depth: int = 1, reserve: int = 1):
+    def __init__(self, depth: int = 1, reserve: int = 1) -> None:
         if depth <= 0:
             raise ValueError("prefetch depth must be positive")
         if reserve < 0:
@@ -62,7 +65,7 @@ class NextPagePrefetcher:
         #: accuracy accounting; consumed by :meth:`on_demand_hit`.
         self._outstanding: Set[int] = set()
 
-    def on_demand_walk(self, mmu, vpn: int, cycle: float, asid: int = 0) -> None:
+    def on_demand_walk(self, mmu: MMU, vpn: int, cycle: float, asid: int = 0) -> None:
         """Issue up to ``depth`` next-page prefetch walks at ``cycle``.
 
         Prefetches stay inside the demand stream's address space: walks
@@ -70,6 +73,8 @@ class NextPagePrefetcher:
         structures with that context's tag.
         """
         resolver = mmu.resolver_for(asid)
+        pool, pts = mmu.pool, mmu.pts
+        assert pool is not None and pts is not None  # oracle MMUs never prefetch
         for offset in range(1, self.depth + 1):
             target = vpn + offset
             # Speculative walks are the issuing context's traffic: they
@@ -77,14 +82,14 @@ class NextPagePrefetcher:
             # walker quota (a prefetch must never breach another
             # tenant's reservation).
             if (
-                mmu.pool.free_walkers <= self.reserve
-                or not mmu.pool.can_start(asid)
+                pool.free_walkers <= self.reserve
+                or not pool.can_start(asid)
             ):
                 self.stats.dropped_no_walker += 1
                 return
             if (
                 mmu.tlb_contains(target, asid)
-                or mmu.pts.peek(target, asid) is not None
+                or pts.peek(target, asid) is not None
                 or tagged_vpn(target, asid) in self._outstanding
             ):
                 self.stats.dropped_covered += 1

@@ -36,7 +36,7 @@ class MergeBuffer:
 
     __slots__ = ("slots", "_occupied", "stats")
 
-    def __init__(self, slots: int, stats: MergeBufferStats | None = None):
+    def __init__(self, slots: int, stats: MergeBufferStats | None = None) -> None:
         if slots < 0:
             raise ValueError(f"PRMB slot count cannot be negative, got {slots}")
         self.slots = slots

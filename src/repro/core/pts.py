@@ -26,7 +26,7 @@ from ..memory.address import ASID_SHIFT
 class PendingTranslationScoreboard:
     """Tracks which walkers are translating which virtual page numbers."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"PTS capacity must be positive, got {capacity}")
         self.capacity = capacity

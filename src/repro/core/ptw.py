@@ -70,7 +70,7 @@ class WalkerPool:
         use_tpreg: bool = False,
         shared_path_cache: Optional[PathCache] = None,
         policy: Optional[SharePolicy] = None,
-    ):
+    ) -> None:
         if n_walkers <= 0:
             raise ValueError(f"need at least one walker, got {n_walkers}")
         if walk_latency_per_level <= 0:
@@ -164,6 +164,7 @@ class WalkerPool:
         if not busy:
             return 0
         buffers = self._buffers
+        # simlint: disable=det-set-iter -- sum of non-negative int occupancies is associative and commutative, so set order cannot change the total
         return sum(buffers[walker].occupied for walker in busy)
 
     def can_start(self, asid: int = 0) -> bool:
@@ -229,6 +230,7 @@ class WalkerPool:
             # tenant still may not use, so only its own walks matter —
             # even when the pool is also fully busy.
             completion_of = self._completion_of
+            # simlint: disable=det-set-iter -- min() over completion cycles is order-independent: floats are totally ordered and ties yield the same value
             return min(completion_of[walker] for walker in busy)
         return self.earliest_completion()
 

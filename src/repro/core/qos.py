@@ -36,7 +36,7 @@ to the pre-QoS engine against golden captures (``tests/test_qos.py``).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, KeysView, List, Optional, Sequence, Tuple
 
 #: Valid :class:`SharePolicy` kinds, in documentation order.
 SHARE_POLICIES = ("full_share", "static_partition", "weighted")
@@ -88,13 +88,13 @@ class SharePolicy:
     #: may be borrowed (quota binds only under pressure).
     work_conserving = True
 
-    def __init__(self, weights: Optional[Dict[int, float]] = None):
+    def __init__(self, weights: Optional[Dict[int, float]] = None) -> None:
         self._weights: Dict[int, float] = {}
         #: Memoized ``(asid, capacity) -> quota`` answers.  Quotas are
         #: pure functions of the weight registry, recomputed from scratch
         #: on the translate hot path otherwise; any registry change
         #: invalidates the whole cache.
-        self._quota_cache: Dict[tuple, Optional[int]] = {}
+        self._quota_cache: Dict[Tuple[int, int], Optional[int]] = {}
         #: Monotone registry version.  Bumped on every register/unregister
         #: (the only events that can change a built-in policy's quota
         #: answers), so enforcement sites may keep flat per-structure
@@ -131,7 +131,7 @@ class SharePolicy:
         return list(self._weights)
 
     @property
-    def asids(self):
+    def asids(self) -> KeysView[int]:
         """Registered ASIDs as a live view (no copy — hot-path iteration)."""
         return self._weights.keys()
 
@@ -342,6 +342,7 @@ class RoundRobinArbiter(Arbiter):
         owed: Dict[int, int] = {}
         while pending:
             for run in list(pending):
+                # simlint: disable=det-hash-order -- id(run) is an opaque identity key for the owed-turns dict; it is only ever looked up, never ordered or iterated, so its value cannot affect scheduling order
                 key = id(run)
                 turns_owed = owed.get(key, 0)
                 if turns_owed:
@@ -422,7 +423,7 @@ class WeightedQuantumArbiter(Arbiter):
         quantum: int = 2048,
         skew_window: float = 0.01,
         skew_floor: float = 20_000.0,
-    ):
+    ) -> None:
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
         if weights is not None and any(w <= 0 for w in weights):

@@ -13,7 +13,7 @@ LRU replacement.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..memory.address import ASID_SHIFT
 from .qos import SharePolicy
@@ -50,7 +50,7 @@ class TLB:
         entries: int = 2048,
         associativity: Optional[int] = None,
         policy: Optional[SharePolicy] = None,
-    ):
+    ) -> None:
         if entries <= 0:
             raise ValueError(f"TLB needs a positive entry count, got {entries}")
         if associativity is not None:
@@ -378,7 +378,7 @@ class TwoLevelTLB:
         l1_latency: int = 1,
         l2_latency: int = 5,
         policy: Optional[SharePolicy] = None,
-    ):
+    ) -> None:
         if l1_latency < 0 or l2_latency < 0:
             raise ValueError("TLB latencies cannot be negative")
         self.l1 = TLB(l1_entries, policy=policy)
@@ -386,7 +386,7 @@ class TwoLevelTLB:
         self.l1_latency = l1_latency
         self.l2_latency = l2_latency
 
-    def lookup(self, vpn: int, asid: int = 0):
+    def lookup(self, vpn: int, asid: int = 0) -> Tuple[Optional[int], int]:
         """Probe L1 then L2; returns ``(pfn or None, hit_latency)``."""
         pfn = self.l1.lookup(vpn, asid)
         if pfn is not None:

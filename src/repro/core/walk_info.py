@@ -67,7 +67,7 @@ class WalkResolver:
 
     def __init__(
         self, page_table: PageTable, page_size: int = PAGE_SIZE_4K, asid: int = 0
-    ):
+    ) -> None:
         self.page_table = page_table
         self.page_size = page_size
         self.asid = asid

@@ -58,7 +58,7 @@ class FrameAllocator:
         page_size: int = PAGE_SIZE_4K,
         policy: str = "contiguous",
         seed: int = 0,
-    ):
+    ) -> None:
         if capacity_bytes <= 0:
             raise AddressError(f"capacity must be positive, got {capacity_bytes}")
         if policy not in ("contiguous", "shuffled"):
@@ -126,7 +126,7 @@ class AddressSpace:
         base_va: int = DEFAULT_BASE,
         frame_policy: str = "contiguous",
         seed: int = 0,
-    ):
+    ) -> None:
         self.page_size = page_size
         self.page_table = PageTable()
         self.frames = FrameAllocator(

@@ -53,7 +53,7 @@ class MainMemory:
     :meth:`access` which returns the completion cycle.
     """
 
-    def __init__(self, config: MemoryConfig | None = None):
+    def __init__(self, config: MemoryConfig | None = None) -> None:
         self.config = config or MemoryConfig()
         self._channel_free = [0.0] * self.config.channels
         self._rr_next = 0

@@ -32,7 +32,7 @@ from .address import (
 class PageFault(Exception):
     """Raised when a walk reaches a non-present entry."""
 
-    def __init__(self, va: int, level: int):
+    def __init__(self, va: int, level: int) -> None:
         super().__init__(f"page fault at VA 0x{va:x} (level L{level} not present)")
         self.va = va
         self.level = level
@@ -77,7 +77,7 @@ class _Node:
 
     __slots__ = ("pa", "entries")
 
-    def __init__(self, pa: int):
+    def __init__(self, pa: int) -> None:
         self.pa = pa
         # index -> child _Node (interior) or leaf payload.
         self.entries: Dict[int, object] = {}
@@ -98,7 +98,7 @@ class PageTable:
     allocator so UPTC tagging (by entry PA) is meaningful.
     """
 
-    def __init__(self, node_region_base: int = 0x1_0000_0000):
+    def __init__(self, node_region_base: int = 0x1_0000_0000) -> None:
         self._node_pa_cursor = node_region_base
         self._root = self._new_node()
         self._mapped_bytes = 0

@@ -38,9 +38,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Protocol
 
 from .address import page_offset_bits
+from .page_table import PageTable
 
 MB = 1024 * 1024
 
@@ -49,6 +50,66 @@ MB = 1024 * 1024
 #: re-inserts at the back); ``mru`` evicts the most recent first — the
 #: anti-thrash policy for scan-dominated footprints.
 EVICTION_POLICIES = ("lru", "mru")
+
+
+class MigrationLink(Protocol):
+    """Transfer-timing surface the fabric needs from a link model.
+
+    Structural, not nominal: :class:`repro.sparse.numa.LinkModel`
+    satisfies it without the memory layer importing the sparse layer
+    (``simlint: layer-import``).
+    """
+
+    def bulk_transfer_cycles(self, nbytes: int) -> float: ...
+
+
+class FabricSharePolicy(Protocol):
+    """Quota surface the fabric consumes from a QoS share policy.
+
+    Mirrors the slice of :class:`repro.core.qos.SharePolicy` the fabric
+    actually calls; a Protocol keeps ``memory`` below ``core`` in the
+    layering order (``simlint: layer-import``).
+    """
+
+    @property
+    def trivial(self) -> bool: ...
+
+    @property
+    def work_conserving(self) -> bool: ...
+
+    @property
+    def asids(self) -> Iterable[int]: ...
+
+    def fabric_quota(self, asid: int, slots: int) -> int: ...
+
+
+class ResidentSpace(Protocol):
+    """Surface the tier needs from a tenant's address space."""
+
+    page_table: PageTable
+
+    def touch(self, va: int, page_size: Optional[int] = None) -> bool: ...
+
+
+class WalkTracker(Protocol):
+    """In-flight-walk probe (the slice of ``core.pts.PTS`` we consult)."""
+
+    def peek(self, vpn: int, asid: int = 0) -> Optional[List[int]]: ...
+
+
+class ShootdownMMU(Protocol):
+    """Invalidation surface the tier drives on its bound MMU.
+
+    Structural stand-in for :class:`repro.core.mmu.MMU` so the memory
+    layer never imports ``core`` (``simlint: layer-import``).
+    """
+
+    paging_tier: Optional["LocalMemoryTier"]
+
+    @property
+    def pts(self) -> Optional[WalkTracker]: ...
+
+    def shootdown(self, vpn: int, asid: int = 0) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -105,7 +166,12 @@ class MigrationFabric:
     bound concurrent walks.
     """
 
-    def __init__(self, link, slots: int = 1, policy=None):
+    def __init__(
+        self,
+        link: MigrationLink,
+        slots: int = 1,
+        policy: Optional[FabricSharePolicy] = None,
+    ) -> None:
         if slots <= 0:
             raise ValueError("a migration fabric needs at least one slot")
         self.link = link
@@ -243,7 +309,7 @@ class TierTenant:
 
     asid: int
     #: The tenant's address space (duck-typed: ``touch`` + ``page_table``).
-    space: object
+    space: ResidentSpace
     budget_bytes: int
     #: Migrated remote pages in residency order: vpn -> page bytes.
     resident: "OrderedDict[int, int]" = field(default_factory=OrderedDict)
@@ -260,6 +326,15 @@ class TierTenant:
     #: timing stays valid and cold-start fault storms don't wipe the
     #: cache on every step.
     residency_epoch: int = 0
+
+    def bump_residency_epoch(self) -> None:
+        """Invalidate FAST timings measured under the old resident set.
+
+        The *only* sanctioned way to move :attr:`residency_epoch` after
+        construction — every eviction site routes through here so the
+        invalidation trail stays auditable (``simlint: epoch-raw-write``).
+        """
+        self.residency_epoch += 1
 
 
 class LocalMemoryTier:
@@ -280,7 +355,7 @@ class LocalMemoryTier:
         page_size: int,
         fault_overhead_cycles: float = 500.0,
         eviction: str = "lru",
-    ):
+    ) -> None:
         if eviction not in EVICTION_POLICIES:
             raise ValueError(
                 f"unknown eviction policy {eviction!r}; "
@@ -293,12 +368,12 @@ class LocalMemoryTier:
         self.fault_overhead_cycles = fault_overhead_cycles
         self.eviction = eviction
         self._vpn_shift = page_offset_bits(page_size)
-        self._mmu = None
+        self._mmu: Optional[ShootdownMMU] = None
         self.tenants: Dict[int, TierTenant] = {}
 
     # -- wiring --------------------------------------------------------- #
 
-    def bind(self, mmu) -> None:
+    def bind(self, mmu: ShootdownMMU) -> None:
         """Attach the MMU whose shootdown path invalidations route through.
 
         Idempotent for the same MMU; a tier serves exactly one
@@ -312,12 +387,12 @@ class LocalMemoryTier:
         mmu.paging_tier = self
 
     @property
-    def mmu(self):
+    def mmu(self) -> Optional[ShootdownMMU]:
         """The bound MMU (None before :meth:`bind`)."""
         return self._mmu
 
     def register_tenant(
-        self, asid: int, space, budget_bytes: Optional[int] = None
+        self, asid: int, space: ResidentSpace, budget_bytes: Optional[int] = None
     ) -> TierTenant:
         """Attach one address space's residency state under its ASID."""
         if asid in self.tenants:
@@ -364,13 +439,19 @@ class LocalMemoryTier:
                 f"page fault for unregistered ASID {asid} (VPN 0x{vpn:x}); "
                 f"call LocalMemoryTier.register_tenant first"
             )
+        mmu = self._mmu
+        if mmu is None:
+            raise RuntimeError(
+                "tier has no bound MMU to shoot stale translations down "
+                "through; call LocalMemoryTier.bind first"
+            )
         page_size = self.page_size
         base = vpn << self._vpn_shift
         tenant.space.touch(base, page_size)
         # The migrated page now maps to a *new* local frame: shoot down
         # every cached translation (memoized walk + TLB hierarchy + PTS)
         # so no path can ever serve the stale remote PFN.
-        self._mmu.shootdown(vpn, asid)
+        mmu.shootdown(vpn, asid)
 
         resolved = self.fabric.migrate(asid, page_size, cycle + self.fault_overhead_cycles)
         tenant.faults += 1
@@ -394,6 +475,7 @@ class LocalMemoryTier:
         swept of it too.
         """
         mmu = self._mmu
+        assert mmu is not None  # only reached from handle_fault, post-bind
         pts = mmu.pts
         asid = tenant.asid
         page_size = self.page_size
@@ -413,7 +495,7 @@ class LocalMemoryTier:
                 break
             size = resident.pop(evicted)
             tenant.resident_bytes -= size
-            tenant.residency_epoch += 1
+            tenant.bump_residency_epoch()
             base = evicted << self._vpn_shift
             tenant.space.page_table.unmap_page(base, page_size)
             mmu.shootdown(evicted, asid)

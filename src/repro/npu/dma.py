@@ -299,6 +299,7 @@ class DMAEngine:
             cache = self._stream_cache
             if cache is None:
                 return self._transactions_columnar(fetch)
+            # simlint: disable=det-hash-order -- id(fetch) is an opaque memo key (keyed lookup only, never ordered or iterated); the fetch list outlives the memo so the id cannot be recycled
             key = id(fetch)
             stream = cache.get(key)
             if stream is None:

@@ -193,6 +193,7 @@ class NPUSimulator:
         construction_key = None
         if paging_tier is None:
             construction_key = (
+                # simlint: disable=det-hash-order -- id(workload) is an opaque cache key (keyed lookup only, never ordered); the key holds a strong reference so the id cannot be recycled
                 id(workload), mmu_config.page_size, memory_bytes,
                 repr(self.npu_config),
             )

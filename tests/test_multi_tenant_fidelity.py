@@ -283,7 +283,7 @@ class TestResidencyEpoch:
         # A budget eviction moves this tenant into a different residency
         # regime: every cached timing was measured against pages that
         # are no longer (all) local, so the cache drops wholesale...
-        tier.tenants[0].residency_epoch += 1
+        tier.tenants[0].bump_residency_epoch()
         run._sync_timing_epochs()
         assert not cache.history and not cache.converged
         assert cache.residency_epoch == tier.residency_epoch(0)

@@ -1,0 +1,28 @@
+"""The strict-typing gate: ``mypy`` over ``repro.core`` / ``repro.memory``.
+
+Scope and settings live in ``mypy.ini`` (strict mode, ``src`` layout);
+this test just runs the gate so a local ``pytest`` catches type
+regressions before CI does.  It skips when mypy is not installed —
+the CI fast tier installs it and runs the same command as a blocking
+step, so the gate is always enforced where it matters.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed; the CI fast tier runs this gate")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_mypy_strict_core_and_memory():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"mypy --strict failed:\n{proc.stdout}{proc.stderr}"

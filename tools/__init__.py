@@ -1,0 +1,1 @@
+"""Repository tooling (not shipped with the ``repro`` package)."""

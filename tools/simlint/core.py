@@ -1,0 +1,272 @@
+"""simlint core: findings, the rule registry protocol, suppressions, runner.
+
+The linter is a plain AST pass.  Each rule receives a :class:`FileContext`
+and yields ``(line, col, message)`` triples; the runner attaches the rule id
+and severity, then filters through inline suppressions.
+
+Suppression syntax (flake8-``noqa``-like, but a justification is mandatory)::
+
+    x = hash(key)  # simlint: disable=det-hash-order -- opaque key, never ordered
+
+    # simlint: disable=cyc-true-div -- truncation is the reference semantics
+    t = int((horizon - cycle) / interval)
+
+A directive on its own line applies to the next line; a trailing directive
+applies to its own line.  A directive without a ``-- justification`` still
+suppresses, but raises a ``meta-bare-suppress`` finding of its own, so bare
+suppressions cannot pass CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Severities, mildest first.  Exit codes treat anything at or above the
+#: threshold (default: ``warning``, i.e. everything) as failing.
+SEVERITIES: Tuple[str, ...] = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``path:line:col: rule [severity] message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+#: A rule check: FileContext -> iterable of (line, col, message).
+CheckFn = Callable[["FileContext"], Iterable[Tuple[int, int, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: identity, severity, docs, and the check itself."""
+
+    id: str
+    severity: str
+    summary: str
+    rationale: str
+    check: CheckFn
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r} for {self.id}")
+
+
+class FileContext:
+    """Everything a rule may ask about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, module: str):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Dotted module name, e.g. ``repro.core.engine`` (best effort —
+        #: derived from the path; tests may override it to exercise
+        #: package-scoped rules on fixture snippets).
+        self.module = module
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @property
+    def package(self) -> str:
+        """First sub-package under ``repro`` ('core', 'npu', ...) or ''."""
+        parts = self.module.split(".")
+        if "repro" in parts:
+            i = parts.index("repro")
+            if i + 1 < len(parts):
+                return parts[i + 1]
+        return ""
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree (built lazily, once)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing FunctionDef/AsyncFunctionDef, if any."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+
+# --------------------------------------------------------------------------
+# Suppressions
+# --------------------------------------------------------------------------
+
+_DIRECTIVE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s*--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# simlint: disable=...`` directive."""
+
+    line: int          # line the directive comment sits on
+    target: int        # line whose findings it suppresses
+    rules: Tuple[str, ...]
+    justification: str
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract directives via the tokenizer (robust to strings/nesting)."""
+    out: List[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        row, col = tok.start
+        text = lines[row - 1] if row - 1 < len(lines) else ""
+        own_line = text[:col].strip() == ""
+        rules = tuple(r.strip() for r in match.group(1).split(",") if r.strip())
+        out.append(
+            Suppression(
+                line=row,
+                target=row + 1 if own_line else row,
+                rules=rules,
+                justification=(match.group(2) or "").strip(),
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Runner
+# --------------------------------------------------------------------------
+
+def _module_name(path: Path) -> str:
+    """Best-effort dotted module for *path* (anchored at a ``repro`` dir)."""
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts[:-1]:
+        idx = len(parts) - 1 - parts[:-1][::-1].index("repro") - 1
+        pkg = parts[idx:-1]
+    else:
+        pkg = []
+    dotted = list(pkg)
+    if name != "__init__":
+        dotted.append(name)
+    return ".".join(dotted) if dotted else name
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    module: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one in-memory source buffer; raises SyntaxError on bad input."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree,
+                      module if module is not None else _module_name(Path(path)))
+    raw: List[Finding] = []
+    for rule in rules:
+        for line, col, message in rule.check(ctx):
+            raw.append(Finding(path, line, col, rule.id, rule.severity, message))
+    # Deduplicate (scope walkers may visit shared nodes more than once).
+    raw = sorted(set(raw), key=lambda f: (f.line, f.col, f.rule))
+
+    suppressions = parse_suppressions(source)
+    known_ids = {rule.id for rule in rules} | {"meta-bare-suppress"}
+    by_target: Dict[int, List[Suppression]] = {}
+    for sup in suppressions:
+        by_target.setdefault(sup.target, []).append(sup)
+
+    findings: List[Finding] = []
+    for f in raw:
+        covered = [
+            sup for sup in by_target.get(f.line, ())
+            if f.rule in sup.rules and f.rule != "meta-bare-suppress"
+        ]
+        if not covered:
+            findings.append(f)
+
+    # The meta rule: every directive needs a justification and real rule ids.
+    for sup in suppressions:
+        if not sup.justification:
+            findings.append(
+                Finding(
+                    path, sup.line, 0, "meta-bare-suppress", "error",
+                    "suppression without a justification; append "
+                    "'-- <why this is safe>' to the directive",
+                )
+            )
+        for rule_id in sup.rules:
+            if rule_id not in known_ids:
+                findings.append(
+                    Finding(
+                        path, sup.line, 0, "meta-bare-suppress", "error",
+                        f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into .py files, skipping caches."""
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    yield sub
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], List[str]]:
+    """Lint files/trees; returns (findings, hard-error strings)."""
+    findings: List[Finding] = []
+    errors: List[str] = []
+    seen_any = False
+    for file in iter_python_files(paths):
+        seen_any = True
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{file}: unreadable: {exc}")
+            continue
+        try:
+            findings.extend(lint_source(source, str(file), rules))
+        except SyntaxError as exc:
+            errors.append(f"{file}: syntax error: {exc.msg} (line {exc.lineno})")
+    for path in paths:
+        if not path.exists():
+            errors.append(f"{path}: no such file or directory")
+    if not seen_any and not errors:
+        errors.append("no Python files found under the given paths")
+    return findings, errors
