@@ -16,13 +16,19 @@ heterogeneous tenant mix pages its tensors in over one shared migration
 fabric under all three share policies, checking exact byte conservation
 on the fabric (asserted inside the figure) and that every tenant's
 fabric share is a genuine fraction.
+
+Both QoS figures route through the shared
+:class:`~repro.analysis.runner.ExperimentRunner`, so ``NEUMMU_JOBS=N``
+shards their isolated baselines and shared cells across N worker
+processes (and ``NEUMMU_CACHE_DIR`` persists results), bit-identical to
+the serial run.
 """
 
 import os
 
 from repro.analysis import fairness, multi_tenant_contention, paging_tenants
 
-from .common import emit, run_once
+from .common import emit, experiment_runner, run_once
 
 
 def bench_multi_tenant(benchmark):
@@ -43,7 +49,9 @@ def bench_multi_tenant(benchmark):
 
 def bench_qos_fairness(benchmark):
     workload = "CNN-1" if os.environ.get("NEUMMU_FULL") else "RNN-2"
-    figure = run_once(benchmark, lambda: fairness(workload=workload))
+    figure = run_once(
+        benchmark, lambda: fairness(workload=workload, runner=experiment_runner())
+    )
     emit(figure)
     by_policy = {}
     for row in figure.rows:
@@ -66,7 +74,9 @@ def bench_qos_fairness(benchmark):
 
 def bench_paging_contention(benchmark):
     mix = "cnn,rnn,recsys" if os.environ.get("NEUMMU_FULL") else "rnn,recsys"
-    figure = run_once(benchmark, lambda: paging_tenants(mix=mix))
+    figure = run_once(
+        benchmark, lambda: paging_tenants(mix=mix, runner=experiment_runner())
+    )
     emit(figure)
     by_cell = {}
     for row in figure.rows:

@@ -29,7 +29,7 @@ from ..workloads.registry import (
     dense_workload,
 )
 from .figures import FigureResult, Series, geometric_mean
-from .parallel import RunRequest
+from .parallel import RunRequest, TenantRunRequest
 from .runner import ExperimentRunner, dense_pairs
 
 #: Figure 10's sweep of PRMB mergeable slots.
@@ -956,6 +956,7 @@ def fairness(
     weights: Optional[Sequence[float]] = None,
     arbitration: str = "weighted_quantum",
     npu_config: Optional[NPUConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> FigureResult:
     """Extension: per-tenant slowdown + Jain's index per QoS share policy.
 
@@ -974,11 +975,17 @@ def fairness(
     bounds the cross-tenant clock skew that whole-tile-step round robin
     would let couple every tenant to one makespan through the shared
     memory channels (see :class:`~repro.core.qos.WeightedQuantumArbiter`).
+
+    ``runner`` shards the grid — two isolated baselines plus 2 configs ×
+    3 policies of shared cells, all independent — across processes when
+    its ``jobs > 1``; results are bit-identical to the serial path.
     """
     from ..workloads.registry import DenseWorkloadFactory
 
     if weights is None:
         weights = tuple(float(tenants - i) for i in range(tenants))
+    weights = tuple(weights)
+    runner = runner or ExperimentRunner(npu_config=npu_config or NPUConfig())
     factory = DenseWorkloadFactory(workload, batch)
     fig = FigureResult(
         figure_id="fairness",
@@ -993,18 +1000,30 @@ def fairness(
             "per-tenant slowdowns (1.0 = perfectly even)",
         ],
     )
-    for config in (baseline_iommu_config(), neummu_config()):
-        isolated = NPUSimulator(factory(), config, npu_config=npu_config).run()
+    configs = (baseline_iommu_config(), neummu_config())
+    label = f"{workload}/b{batch:02d}"
+    requests = [
+        RunRequest(f"{config.name}/isolated/{label}", factory, config)
+        for config in configs
+    ] + [
+        TenantRunRequest(
+            label=f"{config.name}/{qos}/{label}",
+            factories=(factory,) * tenants,
+            mmu_config=config,
+            arbitration=arbitration,
+            qos=qos,
+            weights=weights,
+        )
+        for config in configs
+        for qos in SHARE_POLICIES
+    ]
+    results = runner.run_many(requests)
+    isolated_by_config = dict(zip(configs, results[: len(configs)]))
+    outcomes = iter(results[len(configs):])
+    for config in configs:
+        isolated = isolated_by_config[config]
         for qos in SHARE_POLICIES:
-            shared = run_multi_tenant(
-                factory,
-                config,
-                tenants,
-                npu_config=npu_config,
-                arbitration=arbitration,
-                qos=qos,
-                weights=weights,
-            )
+            shared = next(outcomes).result
             slowdowns = [
                 tenant.total_cycles / isolated.total_cycles
                 for tenant in shared.tenants
@@ -1034,6 +1053,7 @@ def paging_tenants(
     budgets_mb: Optional[Sequence[float]] = None,
     tiering=None,
     npu_config: Optional[NPUConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> FigureResult:
     """Extension: heterogeneous tenants demand-paging over one fabric.
 
@@ -1051,9 +1071,12 @@ def paging_tenants(
 
     Byte conservation on the fabric is asserted exactly: per-tenant
     migrated bytes sum to the fabric total, every one a whole page.
+
+    ``runner`` shards the grid — one isolated paged baseline per tenant
+    per design point plus 2 configs × 3 policies of shared cells —
+    across processes when its ``jobs > 1``, bit-identical to serial.
     """
-    from ..memory.tiering import LocalMemoryTier, MigrationFabric, TieringConfig
-    from ..sparse.numa import nvlink_link
+    from ..memory.tiering import TieringConfig
     from ..workloads.registry import mix_factories
 
     MB = 1024 * 1024
@@ -1073,7 +1096,8 @@ def paging_tenants(
         # t0 heaviest, as in the fairness figure: the weighted rows show
         # whether a fabric reservation buys the heavy tenant latency.
         weights = tuple(float(n - i) for i in range(n))
-    npu = npu_config or NPUConfig()
+    weights = tuple(weights)
+    runner = runner or ExperimentRunner(npu_config=npu_config or NPUConfig())
     mix_label = "+".join(f.name for f in factories)
     fig = FigureResult(
         figure_id="paging_tenants",
@@ -1089,76 +1113,75 @@ def paging_tenants(
             "fraction of bytes migrated over the shared fabric",
         ],
     )
-    for config in (baseline_iommu_config(), neummu_config()):
-        isolated = []
-        for i, factory in enumerate(factories):
-            fabric = MigrationFabric(
-                nvlink_link(npu.interconnect), slots=tier_cfg.fabric_slots
-            )
-            tier = LocalMemoryTier(
-                fabric,
-                page_size=config.page_size,
-                fault_overhead_cycles=tier_cfg.fault_overhead_cycles,
-                eviction=tier_cfg.eviction,
-            )
-            isolated.append(
-                NPUSimulator(
-                    factory(),
-                    config,
-                    npu_config=npu_config,
-                    paging_tier=tier,
-                    memory_budget=budgets[i],
-                ).run()
-            )
+    configs = (baseline_iommu_config(), neummu_config())
+    requests = [
+        RunRequest(
+            f"{config.name}/isolated/{factory.name}/b{batch:02d}",
+            factory,
+            config,
+            tiering=tier_cfg,
+            memory_budget=budgets[i],
+        )
+        for config in configs
+        for i, factory in enumerate(factories)
+    ] + [
+        TenantRunRequest(
+            label=f"{config.name}/{qos}/{mix_label}/b{batch:02d}",
+            factories=tuple(factories),
+            mmu_config=config,
+            arbitration=arbitration,
+            qos=qos,
+            weights=weights,
+            tiering=tier_cfg,
+            memory_budgets=tuple(budgets),
+        )
+        for config in configs
+        for qos in SHARE_POLICIES
+    ]
+    results = runner.run_many(requests)
+    n_isolated = len(configs) * n
+    outcomes = iter(results[n_isolated:])
+    for c, config in enumerate(configs):
+        isolated = results[c * n: (c + 1) * n]
         for qos in SHARE_POLICIES:
-            sim = MultiTenantSimulator(
-                [factory() for factory in factories],
-                config,
-                npu_config=npu_config,
-                arbitration=arbitration,
-                qos=qos,
-                weights=weights,
-                paging=tier_cfg,
-                memory_budgets=budgets,
-            )
-            shared = sim.run()
-            tier = sim.paging
-            fabric = tier.fabric
-            per_tenant_bytes = {
-                asid: tier.migrated_bytes_of(asid) for asid in tier.tenants
-            }
+            outcome = next(outcomes)
+            shared = outcome.result
+            paging = outcome.paging
+            assert paging is not None  # every tenant pages in this figure
+            faults_of = dict(paging.faults)
+            per_tenant_bytes = dict(paging.migrated_bytes)
             # Exact conservation: every migrated byte is attributed to
             # exactly one tenant, and every move is a whole page.
-            if sum(per_tenant_bytes.values()) != fabric.total_bytes:
+            if sum(per_tenant_bytes.values()) != paging.fabric_total_bytes:
                 raise AssertionError(
                     f"fabric byte-conservation violation under {qos}: "
-                    f"{per_tenant_bytes} != {fabric.total_bytes}"
+                    f"{per_tenant_bytes} != {paging.fabric_total_bytes}"
                 )
-            if fabric.total_bytes != fabric.total_migrations * config.page_size:
+            moved = paging.fabric_total_migrations * config.page_size
+            if paging.fabric_total_bytes != moved:
                 raise AssertionError(
                     f"fabric moved partial pages under {qos}: "
-                    f"{fabric.total_bytes} bytes in "
-                    f"{fabric.total_migrations} migrations"
+                    f"{paging.fabric_total_bytes} bytes in "
+                    f"{paging.fabric_total_migrations} migrations"
                 )
-            total_bytes = fabric.total_bytes or 1
+            total_bytes = paging.fabric_total_bytes or 1
             slowdowns = []
             for tenant, iso in zip(shared.tenants, isolated):
-                t_state = tier.tenants[tenant.asid]
                 t_bytes = per_tenant_bytes[tenant.asid]
                 slowdown = tenant.total_cycles / iso.total_cycles
                 slowdowns.append(slowdown)
                 fig.add(
                     f"{config.name}/{qos}/t{tenant.asid}",
                     slowdown=slowdown,
-                    faults=float(t_state.faults),
+                    faults=float(faults_of[tenant.asid]),
                     migrated_mb=t_bytes / MB,
                     fabric_share=t_bytes / total_bytes,
                 )
             fig.notes.append(
                 f"{config.name}/{qos}: jain {jain_index(slowdowns):.3f}, "
                 f"max slowdown {max(slowdowns):.3f}, fabric "
-                f"{fabric.total_migrations} moves / "
-                f"{fabric.total_bytes / MB:.1f} MB (conserved exactly)"
+                f"{paging.fabric_total_migrations} moves / "
+                f"{paging.fabric_total_bytes / MB:.1f} MB (conserved exactly)"
             )
     return fig
 

@@ -26,7 +26,14 @@ from ..npu.config import NPUConfig
 from ..npu.simulator import Fidelity, NPUSimulator, RunResult
 from ..workloads.cnn import Workload
 from ..workloads.registry import DENSE_BATCHES, DENSE_WORKLOADS, DenseWorkloadFactory
-from .parallel import ParallelRunner, RunRequest, factory_token
+from .parallel import (
+    AnyRequest,
+    ParallelRunner,
+    RunRequest,
+    TenantRunOutcome,
+    TenantRunRequest,
+    factory_token,
+)
 
 #: (display label, workload factory) pair.
 WorkloadPair = Tuple[str, Callable[[], Workload]]
@@ -137,9 +144,18 @@ class ExperimentRunner:
     # batch runs (what the sweep experiments use)                        #
     # ------------------------------------------------------------------ #
 
-    def run_many(self, requests: Sequence[RunRequest]) -> List[RunResult]:
-        """Run a batch of grid points (parallel when ``jobs > 1``)."""
+    def run_many(self, requests: Sequence[AnyRequest]) -> List:
+        """Run a batch of grid points (parallel when ``jobs > 1``).
+
+        Batches may mix single-tenant :class:`RunRequest` and
+        multi-tenant :class:`TenantRunRequest` entries — a QoS figure's
+        isolated baselines and shared cells shard across one pool.
+        """
         return self._parallel.run_many(requests)
+
+    def run_tenants(self, request: TenantRunRequest) -> TenantRunOutcome:
+        """Run one multi-tenant grid cell through the cache-aware path."""
+        return self._parallel.run_tenants(request)
 
     def normalized_many(
         self, requests: Sequence[RunRequest]

@@ -586,9 +586,26 @@ def _profiled(handler, args) -> int:
 
     Gives perf PRs concrete evidence to cite (``neummu run fairness
     --profile``) instead of guessing where time goes.
+
+    With ``--jobs`` ≠ 1 the simulations run in worker processes the
+    parent's profiler cannot see, so the workers are told (via
+    ``NEUMMU_PROFILE_DIR``) to dump one ``.pstats`` file per simulated
+    grid point and the dumps are folded into the printed table — the
+    aggregate covers parent *and* children.  A pre-set
+    ``NEUMMU_PROFILE_DIR`` is respected (dumps land there, left on disk
+    for manual ``pstats`` inspection, and still join the table).
     """
     import cProfile
     import pstats
+    import tempfile
+
+    jobs = getattr(args, "jobs", 1)
+    worker_dir = os.environ.get("NEUMMU_PROFILE_DIR")
+    made_dir = False
+    if jobs != 1 and worker_dir is None:
+        worker_dir = tempfile.mkdtemp(prefix="neummu-profile-")
+        os.environ["NEUMMU_PROFILE_DIR"] = worker_dir
+        made_dir = True
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -598,6 +615,17 @@ def _profiled(handler, args) -> int:
         profiler.disable()
         print("\n--- cProfile: top 20 by cumulative time ---")
         stats = pstats.Stats(profiler, stream=sys.stdout)
+        if made_dir:
+            del os.environ["NEUMMU_PROFILE_DIR"]
+        if worker_dir is not None:
+            dumps = sorted(Path(worker_dir).glob("worker-*.pstats"))
+            for dump in dumps:
+                stats.add(str(dump))
+            if dumps:
+                print(
+                    f"(aggregated {len(dumps)} worker profile dump(s) "
+                    f"from {worker_dir})"
+                )
         stats.sort_stats("cumulative").print_stats(20)
     return code
 

@@ -48,12 +48,14 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import os
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..memory.address import ASID_SHIFT
 from ..memory.dram import MainMemory
+from .calendar import CompletionCalendar
 from .mmu import MMU, TranslationFault
 from .tlb import TLB
 
@@ -1444,6 +1446,13 @@ class TranslationEngine:
         stream_ok = n_channels * interval >= s_cycles
         asid_bits = asid << ASID_SHIFT
 
+        # Batched walker-completion calendar (ROADMAP lever (d)): whole
+        # saturated multi-run stretches retire as one planned bucket.
+        # ``NEUMMU_CALENDAR=0`` forces the per-event path (benchmarking
+        # and differential-fuzz granularity); bit-identity either way.
+        calendar = CompletionCalendar(mmu, memory, asid, interval)
+        use_calendar = os.environ.get("NEUMMU_CALENDAR", "1") != "0"
+
         # Persistent completion snapshot: ``order[idx:]`` mirrors the heap
         # between calls (see the revalidation check below).
         order: List[Tuple[float, int, int]] = []
@@ -1476,6 +1485,9 @@ class TranslationEngine:
             meta: Optional[Sequence[Tuple[int, bool]]],
             rc: int,
             run_streamable: bool,
+            vas_col: Any = None,
+            sizes_col: Any = None,
+            uniform_size: Optional[int] = None,
         ) -> Tuple[int, float, float, int, float, bool, int, int, int, bool]:
             nonlocal order, idx
             nonlocal pol_obj, pol_ver, my_quota, work_conserving, my_busy, others
@@ -1531,6 +1543,7 @@ class TranslationEngine:
             levels_sum = 0
             released_n = 0
             prev_walk = None
+            cal_skip = 0  # plan-failure hysteresis: retry at the next run
 
             while True:
                 if tkey in tlb_set:
@@ -1958,6 +1971,53 @@ class TranslationEngine:
                         if flip:
                             break
                         continue
+                    # Fully blocked at a fresh page: try to plan a whole
+                    # calendar stretch (stall + head retire + redundant
+                    # restart per transaction, across run boundaries) and
+                    # retire it as one bucket.  Integral accumulators are
+                    # required so the bucket's telescoped stall sums are
+                    # reassociation-free (see ``core/calendar.py``).
+                    if (
+                        use_calendar
+                        and my_walkers is None
+                        and meta is not None
+                        and vas_col is not None
+                        and horizon == inf
+                        and not poisoned
+                        and i >= cal_skip
+                        and cycle.is_integer()
+                        and sc.is_integer()
+                        and stall.is_integer()
+                    ):
+                        planned = calendar.plan_stretch(
+                            order, idx, i, j, n, cycle, vpn, tkey, walk,
+                            run_streamable, meta, rc, vas_col, sizes_col,
+                            uniform_size, policied, my_quota,
+                            work_conserving, my_busy, others,
+                        )
+                        if planned:
+                            (
+                                i, cycle, data_end, total_bytes, stall, sc,
+                                seq, vpn, tkey, j, run_streamable, rc, walk,
+                                levels, cal_m, cal_fresh_pages, cal_stalls,
+                                cal_fresh_stalls,
+                            ) = calendar.drain_stretch(
+                                order, idx, i, cycle, data_end, total_bytes,
+                                stall, sc, seq, prev_walk,
+                            )
+                            dur = levels * walk_latency
+                            tlb_set = tlb_sets[tkey & tlb_set_mask]
+                            my_walkers = pts_by_vpn.get(tkey)
+                            run_vpn = vpn
+                            run_end = j
+                            stalls_n += cal_stalls - cal_fresh_stalls
+                            walks_n += cal_m - cal_fresh_pages
+                            fresh_stall_n += cal_fresh_stalls
+                            fresh_walk_n += cal_fresh_pages
+                            levels_sum += cal_m * levels
+                            released_n += cal_m
+                            break
+                        cal_skip = j
                     # Fully blocked: one stall attempt, FIFO retry point
                     # (the pool-wide earliest completion is the cursor
                     # head); a hard-partitioned tenant at quota waits for
@@ -2075,12 +2135,22 @@ class TranslationEngine:
             runner = self._np_runners.get(asid)
             if runner is None:
                 runner = self._no_prmb_fifo_runner(asid)
+            # Columnar streams feed the completion calendar's vectorized
+            # planning; per-object streams simply run without stretches.
+            vas_col = getattr(transactions, "vas", None)
+            if vas_col is not None:
+                sizes_col = getattr(transactions, "sizes", None)
+                uniform_size = getattr(transactions, "uniform_size", None)
+            else:
+                sizes_col = None
+                uniform_size = None
             (
                 i, cycle, data_end, total_bytes, stall, faulted,
                 rc, run_vpn, run_end, run_streamable,
             ) = runner(
                 va_list, size_list, i, j, n, vpn, tkey, cycle, data_end,
                 total_bytes, stall, meta, rc, run_streamable,
+                vas_col, sizes_col, uniform_size,
             )
         else:
             i, cycle, data_end, total_bytes, stall, faulted = self._no_prmb_run(

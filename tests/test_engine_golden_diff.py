@@ -21,6 +21,7 @@ import pytest
 
 from repro.analysis import (
     ExperimentRunner,
+    fairness,
     fig7_translation_bursts,
     fig8_baseline_iommu,
     fig13_tpreg_hit_rates,
@@ -29,6 +30,7 @@ from repro.analysis import (
     fig16_demand_paging,
     large_pages_dense,
     multi_tenant_contention,
+    paging_tenants,
 )
 from repro.sparse.demand_paging import DemandPagingConfig
 
@@ -96,6 +98,13 @@ class TestFastTier:
             )
         )
 
+    def test_fairness_contended(self):
+        # The contended QoS figure: its static_partition / weighted cells
+        # run the deepest quota regimes of the completion calendar, so
+        # this diff pins the calendar's batched retires against the
+        # reference engine's per-event discipline.
+        golden_diff(lambda: fairness(workload="RNN-2", batch=1))
+
 
 @pytest.mark.slow
 class TestDenseSweeps:
@@ -122,3 +131,8 @@ class TestDenseSweeps:
 
     def test_fig15_numa(self):
         golden_diff(lambda: fig15_numa(batches=(8,)))
+
+    def test_paging_tenants_contended(self):
+        # Heterogeneous tenants paging over one fabric, with demand
+        # faults landing mid-stretch in the calendar's planned windows.
+        golden_diff(lambda: paging_tenants(mix="rnn,recsys", batch=1))

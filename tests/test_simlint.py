@@ -286,6 +286,52 @@ def test_epoch_raw_write_applies_outside_repro_core_too():
     assert ids == ["epoch-raw-write"]
 
 
+# -- cyc-calendar-retire -------------------------------------------------- #
+
+def test_calendar_retire_fires_on_out_of_band_bucket_write():
+    ids = rule_ids(
+        """
+        class Runner:
+            def fast_retire(self, k):
+                self.cal_cursor += k
+        """
+    )
+    assert ids == ["cyc-calendar-retire"]
+
+
+def test_calendar_retire_fires_on_column_replacement_outside_plan():
+    ids = rule_ids(
+        """
+        class Runner:
+            def compact(self, ready):
+                self.calendar.cal_ready = ready[1:]
+        """
+    )
+    assert ids == ["cyc-calendar-retire"]
+
+
+def test_calendar_retire_quiet_in_init_plan_and_drain():
+    ids = rule_ids(
+        """
+        class CompletionCalendar:
+            def __init__(self):
+                self.cal_ready = ()
+                self.cal_cursor = 0
+
+            def plan_stretch(self, ready_col):
+                self.cal_ready = ready_col
+                self.cal_cursor = 0
+
+            def drain_stretch(self, m):
+                self.cal_cursor = m
+
+            def reset(self):
+                self.cal_ready = ()
+        """
+    )
+    assert ids == []
+
+
 # -- layer-import --------------------------------------------------------- #
 
 def test_layer_import_fires_on_core_importing_npu_and_analysis():

@@ -483,6 +483,47 @@ def check_epoch_raw_write(ctx: FileContext) -> Iterator[Triple]:
 
 
 # --------------------------------------------------------------------------
+# cyc-calendar-retire: completion-calendar bucket discipline
+# --------------------------------------------------------------------------
+
+#: The only methods allowed to touch ``cal_*`` bucket columns: the
+#: planner materializes a bucket, the drain retires it, construction and
+#: reset-style helpers empty it.  Anything else retiring entries out of
+#: band would bypass the drain's telescoped stall accounting and PTS
+#: replay, silently diverging from the heap-based per-event path.
+_CALENDAR_WRITE_OK = ("plan_stretch", "drain_stretch", "reset", "_reset",
+                      "clear", "_clear")
+
+
+def check_cyc_calendar_retire(ctx: FileContext) -> Iterator[Triple]:
+    for node in ast.walk(ctx.tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            attr = target.attr
+            if not attr.startswith("cal_"):
+                continue
+            func = ctx.enclosing_function(target)
+            fname = getattr(func, "name", "")
+            if fname in {"__init__", "__post_init__", "__setstate__"}:
+                continue
+            if fname.startswith(_CALENDAR_WRITE_OK):
+                continue
+            yield (
+                node.lineno, node.col_offset,
+                f"raw write to calendar bucket column {attr!r} outside the "
+                f"designated plan/drain methods; buckets retire only via "
+                f"drain_stretch so the telescoped stall sums and PTS replay "
+                f"stay bit-identical to the per-event heap discipline",
+            )
+
+
+# --------------------------------------------------------------------------
 # layer-import: the package DAG
 # --------------------------------------------------------------------------
 
@@ -624,6 +665,15 @@ RULES: Tuple[Rule, ...] = (
         rationale="FAST timing caches trust epochs for invalidation; a raw "
                   "write is an invalidation site the audit trail misses",
         check=check_epoch_raw_write,
+    ),
+    Rule(
+        id="cyc-calendar-retire",
+        severity="error",
+        summary="calendar bucket columns change only in plan/drain methods",
+        rationale="an out-of-band bucket write retires walks without the "
+                  "drain's stall telescoping and PTS replay, diverging "
+                  "from the per-event heap bit-for-bit contract",
+        check=check_cyc_calendar_retire,
     ),
     Rule(
         id="layer-import",
