@@ -16,6 +16,11 @@ and writes ``benchmarks/results/BENCH_perf.json``:
   3 RNN-2 tenants saturating the 8-walker IOMMU under the two
   non-trivial QoS regimes, so the weekly gate watches the calendar's
   bulk-retire discipline directly.  Recorded from PR 8 onward.
+* ``quota_hit_phase`` — the quota burn-down planner's target shape
+  isolated: two weighted tenants alternating cold-walk trains with long
+  resident hit stretches, so walker completions come due *inside* the
+  stretches and ``NEUMMU_QUOTA_BATCH`` retires them in closed form.
+  Recorded from PR 9 onward.
 * ``demand_paging`` — one DLRM Figure 16 cell on the 8-walker IOMMU
   plus a 2-tenant paged contention run through the memory-tier
   subsystem (``repro.memory.tiering``): fault handling, migration-fabric
@@ -40,8 +45,9 @@ any scenario sits more than 20% below the normalized expectation.
 Output goes to ``benchmarks/results/BENCH_perf.json``
 (gitignored, like every generated benchmark artifact) so local and CI
 runs never dirty the working tree; the copy committed at the repository
-root is PR 8's frozen record (columnar engine + completion calendar),
-regenerated only when a PR intentionally moves the needle.  ``NEUMMU_PERF_OUT`` overrides the
+root is PR 9's frozen record (columnar engine + completion calendar +
+quota burn-down planner), regenerated only when a PR intentionally
+moves the needle.  ``NEUMMU_PERF_OUT`` overrides the
 output path.
 """
 
@@ -108,6 +114,36 @@ BASELINE = {
         "qos_sweep": {"wall_s": 6.455, "translations_per_sec": 411725},
         "contended_sweep": {"wall_s": 2.660, "translations_per_sec": 333011},
         "demand_paging": {"wall_s": 1.262, "translations_per_sec": 146177},
+    },
+    # PR 9 (closed-form quota burn-down): pre_pr9 is the PR 9 tree with
+    # NEUMMU_QUOTA_BATCH=0 (the per-event hit/retire ping-pong), post_pr9
+    # the default batched planner; each row is the per-scenario median of
+    # three interleaved back-to-back pairs on the same noisy shared box.
+    # Interleaved paired ratios put qos_sweep off/on at a median of ~1.01
+    # (parity; individual pairs swing 0.91-1.24 on ambient load alone),
+    # far short of the 1.5x batching goal for this phase: on the RNN
+    # sweeps hit stretches carry one or two dues and sit below the
+    # planner's three-due profitability gate, and even quota_hit_phase —
+    # which engages the planner on every burst (200 planned stretches,
+    # 900 deferred retirements, zero fallbacks) — stays at parity because
+    # the per-event mode already span-batches *between* dues and the dues
+    # per stretch are bounded by walker-pool depth.  See README
+    # "Performance" for the full accounting.
+    "pre_pr9": {
+        "engine_fastpath": {"wall_s": 0.162, "translations_per_sec": 1619828},
+        "single_tenant": {"wall_s": 1.137, "translations_per_sec": 270708},
+        "qos_sweep": {"wall_s": 5.594, "translations_per_sec": 475131},
+        "contended_sweep": {"wall_s": 2.550, "translations_per_sec": 347468},
+        "quota_hit_phase": {"wall_s": 0.595, "translations_per_sec": 1028006},
+        "demand_paging": {"wall_s": 1.349, "translations_per_sec": 136781},
+    },
+    "post_pr9": {
+        "engine_fastpath": {"wall_s": 0.140, "translations_per_sec": 1867134},
+        "single_tenant": {"wall_s": 1.051, "translations_per_sec": 292837},
+        "qos_sweep": {"wall_s": 6.317, "translations_per_sec": 420710},
+        "contended_sweep": {"wall_s": 2.576, "translations_per_sec": 343954},
+        "quota_hit_phase": {"wall_s": 0.592, "translations_per_sec": 1032969},
+        "demand_paging": {"wall_s": 1.334, "translations_per_sec": 138300},
     },
 }
 
@@ -213,6 +249,61 @@ def contended_sweep():
     return time.perf_counter() - started, requests
 
 
+def quota_hit_phase():
+    """The quota burn-down planner's target, isolated.
+
+    Two weighted tenants on the 8-walker IOMMU alternate bursts that
+    saturate the walker pool with cold pages and then hold a single
+    resident page's hit stretch open for hundreds of transactions — so
+    the in-flight walker completions come due *inside* the hit stretch,
+    the hit/retire ping-pong ``NEUMMU_QUOTA_BATCH`` retires in closed
+    form (``plan_hits``/``drain_hits``).  The RNN-driven sweeps barely
+    expose this shape (their hit runs are short and carry one or two
+    dues); this cell pins it so the weekly gate watches the burn-down
+    discipline directly.  Recorded from PR 9 onward.
+    """
+    from dataclasses import replace
+
+    from repro.core.engine import TranslationEngine
+    from repro.core.mmu import MMU, baseline_iommu_config
+    from repro.memory.address import PAGE_SIZE_4K
+    from repro.memory.dram import MainMemory
+    from repro.memory.page_table import PageTable
+    from repro.npu.dma import ColumnarTransactionStream
+
+    base = 0x7F00_0000_0000
+    n_pages = 256
+    config = replace(
+        baseline_iommu_config(), engine_mode="columnar", qos="weighted"
+    )
+    mmu = MMU(config, None)
+    for asid, first_pfn, weight in ((0, 10, 2.0), (5, 500_000, 1.0)):
+        table = PageTable()
+        table.map_range(base, n_pages * PAGE_SIZE_4K, first_pfn=first_pfn)
+        mmu.register_context(asid, table, weight=weight)
+    engine = TranslationEngine(mmu, MainMemory())
+    started = time.perf_counter()
+    cycle = 0.0
+    for burst in range(200):
+        asid = (0, 5)[burst & 1]
+        head = (burst * 60) % (n_pages - 60)
+        pairs = [(base + (head + k) * PAGE_SIZE_4K, 256) for k in range(60)]
+        hot = base + head * PAGE_SIZE_4K
+        pairs.extend((hot + (k % 16) * 256, 256) for k in range(3000))
+        txs = ColumnarTransactionStream.from_pairs(pairs, PAGE_SIZE_4K)
+        engine.run_burst(txs, cycle, asid)
+        # Unmap the burst's window (streaming churn): occupancy stays
+        # bounded below the weighted quota, so the deferred fills remain
+        # admissible and the planner engages on every burst rather than
+        # declining on quota-bound once the TLB fills up.
+        mmu.drain()
+        for k in range(60):
+            mmu.shootdown(base // PAGE_SIZE_4K + head + k, asid)
+        cycle += 1e6
+    mmu.drain()
+    return time.perf_counter() - started, mmu.stats.requests
+
+
 def demand_paging():
     """Demand-paged translation: one Fig. 16 cell + a paged 2-tenant run."""
     from repro.core.mmu import baseline_iommu_config
@@ -249,6 +340,7 @@ SCENARIOS = (
     ("single_tenant", single_tenant),
     ("qos_sweep", qos_sweep),
     ("contended_sweep", contended_sweep),
+    ("quota_hit_phase", quota_hit_phase),
     ("demand_paging", demand_paging),
 )
 

@@ -70,8 +70,27 @@ from ..npu.simulator import (
 #: cached results (the cache key embeds it).  2: the key now folds in the
 #: effective engine mode and the tiering/paging configuration — schema-1
 #: keys could serve a ``NEUMMU_ENGINE=reference`` run a cached columnar
-#: result (and knew nothing about demand-paged runs at all).
-CACHE_SCHEMA = 2
+#: result (and knew nothing about demand-paged runs at all).  3: the key
+#: folds in the fast-path environment knobs (``NEUMMU_QUOTA_BATCH``,
+#: ``NEUMMU_CALENDAR``) — results are bit-identical either way, but the
+#: CI byte-identity smokes that *prove* that would otherwise be served
+#: one mode's cached cells while exercising the other.
+CACHE_SCHEMA = 3
+
+
+def _engine_env_knobs() -> Dict[str, bool]:
+    """Effective fast-path environment knobs, folded into cache keys.
+
+    Each selects between bit-identical engine paths, so sharing cached
+    results across them would be *correct* — but it would silently turn
+    the ``NEUMMU_QUOTA_BATCH=0`` vs ``=1`` (and calendar) byte-identity
+    smokes into cache-hit no-ops.  Keyed separately so a poisoned run of
+    one mode can never mask a divergence in the other.
+    """
+    return {
+        "quota_batch": os.environ.get("NEUMMU_QUOTA_BATCH", "1") != "0",
+        "calendar": os.environ.get("NEUMMU_CALENDAR", "1") != "0",
+    }
 
 
 @dataclass(frozen=True)
@@ -204,6 +223,7 @@ def request_key(
             "factory": factory_token(factory),
             "mmu": _canonical(mmu_config),
             "engine_mode": mmu_config.engine_mode,
+            "engine_knobs": _engine_env_knobs(),
             "npu": _canonical(npu_config),
             "fidelity": fidelity.value,
             "warmup": warmup,
@@ -240,6 +260,7 @@ def tenant_request_key(
             "factories": [factory_token(f) for f in request.factories],
             "mmu": _canonical(request.mmu_config),
             "engine_mode": request.mmu_config.engine_mode,
+            "engine_knobs": _engine_env_knobs(),
             "npu": _canonical(npu_config),
             "fidelity": fidelity.value,
             "warmup": warmup,

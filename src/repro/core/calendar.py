@@ -42,6 +42,23 @@ Calendar buckets may only be consumed through :meth:`drain_stretch` (the
 designated drain, mirroring the epoch-bump discipline): the ``cal_*``
 bucket columns and cursor are written nowhere else, and the simlint rule
 ``cyc-calendar-retire`` enforces that statically.
+
+Quota burn-down hit stretches
+-----------------------------
+The hit-phase counterpart (ROADMAP open item 2, ``NEUMMU_QUOTA_BATCH``):
+under quota regimes the TLB-hit/retire ping-pong makes every walk
+completion an interaction point, collapsing the engine's hit segments to
+a transaction or two.  :meth:`plan_hits` proves the completions due
+inside a candidate hit span can be *deferred* past it — no fill in the
+bucket can trigger victim selection (:func:`hit_fills_admissible`, built
+on :meth:`SharePolicy.burn_down <repro.core.qos.SharePolicy.burn_down>`),
+so every fill is a pure append/bump that commutes with resident-page
+hits, and draining the bucket *before* the span's final MRU bump
+reproduces the per-event interleaving's TLB order, mirrors and stamps
+exactly.  :meth:`drain_hits` then retires the planned hit stretch and
+its completion bucket in one fused drain.  The ``bd_*`` plan state
+follows the same discipline as the ``cal_*`` columns (simlint rule
+``cyc-burndown-admit``).
 """
 
 from __future__ import annotations
@@ -53,6 +70,7 @@ import numpy as np
 from ..memory.address import ASID_SHIFT
 from ..memory.dram import MainMemory
 from .mmu import MMU
+from .stats import BURN_DOWN
 from .tlb import TLB
 from .walk_info import WalkInfo
 
@@ -78,6 +96,66 @@ _MAX_CYCLE = float(1 << 52)
 _PlannedRun = Tuple[int, int, WalkInfo, int, int, int, bool]
 
 
+def hit_fills_admissible(tlb: TLB, walks: Sequence[WalkInfo]) -> bool:
+    """True when deferring every fill in ``walks`` past a TLB-hit stretch
+    cannot change simulator state: no fill can trigger victim selection
+    (nor the policied set-associative fill drop), so each one is a pure
+    append or present-key bump that commutes with resident-page hits.
+
+    Mirrors :meth:`TLB.insert`'s victim conditions over the whole batch.
+    A present key never victimizes (duplicate new keys count once — the
+    second fill finds the first resident).  Unique new keys need set room
+    (``len + new <= ways`` keeps every insert strictly below the way
+    limit) and, under a policy, per-tenant quota room via
+    :meth:`SharePolicy.burn_down <repro.core.qos.SharePolicy.burn_down>`
+    — or work-conserving borrow room, ``sum(occupancy) + new <= entries``,
+    the global free-capacity check the per-event fill applies, evaluated
+    at the last (tightest) insert since occupancy only grows inside the
+    batch.  Counts evolve identically under either interleaving (bumps
+    change no counts), so admissibility in one order implies the other.
+    The built-in policies answer :meth:`TLB.insert`'s ``tlb_quota`` and
+    ``burn_down``'s ``quota`` identically; a policy differentiating the
+    two must override ``burn_down`` to match its TLB vocabulary.
+    """
+    sets = tlb._sets
+    mask = tlb._set_mask
+    new_keys: Set[int] = set()
+    per_set: Dict[int, int] = {}
+    per_tenant: Dict[int, int] = {}
+    for wk in walks:
+        dkey = wk.vpn | (wk.asid << ASID_SHIFT)
+        if dkey in new_keys:
+            continue
+        set_idx = dkey & mask
+        if dkey in sets[set_idx]:
+            continue
+        new_keys.add(dkey)
+        per_set[set_idx] = per_set.get(set_idx, 0) + 1
+        per_tenant[wk.asid] = per_tenant.get(wk.asid, 0) + 1
+    if not new_keys:
+        return True
+    ways = tlb._ways
+    for set_idx, cnt in per_set.items():
+        if len(sets[set_idx]) + cnt > ways:
+            return False
+    policy = tlb._policy
+    if policy is None:
+        return True
+    occupancy = tlb._asid_occupancy
+    entries = tlb.entries
+    borrow_ok: Optional[bool] = None
+    for asid, cnt in per_tenant.items():
+        if policy.burn_down(asid, occupancy.get(asid, 0), cnt, entries) >= cnt:
+            continue
+        if not policy.work_conserving:
+            return False
+        if borrow_ok is None:
+            borrow_ok = sum(occupancy.values()) + len(new_keys) <= entries
+        if not borrow_ok:
+            return False
+    return True
+
+
 class CompletionCalendar:
     """Cycle-indexed completion calendar for one address space's runner.
 
@@ -100,6 +178,7 @@ class CompletionCalendar:
         "_plan_dur", "_plan_levels", "_plan_ch", "_plan_finish",
         "_plan_bytes", "_plan_policied", "_plan_my_busy", "_plan_rc",
         "_plan_stall_events", "_plan_fresh_stalls",
+        "_tlb", "_poisoned", "bd_count",
     )
 
     def __init__(
@@ -116,9 +195,11 @@ class CompletionCalendar:
         self._free_list = pool._free
         self._busy_by_asid = pool._busy_by_asid
         self._pts_by_vpn = pts._by_vpn
+        self._tlb = tlb
         self._tlb_sets = tlb._sets
         self._tlb_set_mask = tlb._set_mask
         self._tlb_insert = tlb.insert
+        self._poisoned = mmu._poisoned_walkers
         self._resolvers = mmu._resolvers
         self._walk_latency = pool.walk_latency_per_level
         self._vpn_shift = mmu._vpn_shift
@@ -157,6 +238,7 @@ class CompletionCalendar:
         self._plan_rc = 0
         self._plan_stall_events = 0
         self._plan_fresh_stalls = 0
+        self.bd_count = 0
 
     # ------------------------------------------------------------------ #
     # planning                                                           #
@@ -683,3 +765,94 @@ class CompletionCalendar:
             last_walk, self._plan_levels, m, len(pages),
             self._plan_stall_events, self._plan_fresh_stalls,
         )
+
+    # ------------------------------------------------------------------ #
+    # quota burn-down hit stretches                                      #
+    # ------------------------------------------------------------------ #
+
+    def plan_hits(
+        self, order: List[Tuple[float, int, int]], idx: int, cutoff: float
+    ) -> int:
+        """Plan a hit-stretch completion bucket: every walk completion due
+        at or before ``cutoff`` (the stretch's last issue cycle, computed
+        bit-exactly by the caller) must be deferrable past the stretch —
+        :func:`hit_fills_admissible` proves no fill can victimize, a
+        poisoned walker (shootdown residency event) or an untracked walk
+        declines outright.  Returns the bucket size (>= 1) or -1
+        (per-event fallback), recording the plan-failure reason in the
+        process-wide :data:`~repro.core.stats.BURN_DOWN` telemetry.
+
+        Caller guarantees ``order[idx:]`` is ready-sorted with its head
+        due at or before ``cutoff``, so the bucket is the due prefix.
+        """
+        walk_of = self._walk_of
+        poisoned = self._poisoned
+        walks: List[WalkInfo] = []
+        scan = idx
+        end = len(order)
+        while scan < end:
+            entry = order[scan]
+            if entry[0] > cutoff:
+                break
+            if poisoned and entry[2] in poisoned:
+                BURN_DOWN.fail_residency += 1
+                return -1
+            wk = walk_of[entry[2]]
+            if wk is None:
+                BURN_DOWN.fail_fault += 1
+                return -1
+            walks.append(wk)
+            scan += 1
+        if not hit_fills_admissible(self._tlb, walks):
+            BURN_DOWN.fail_quota_bound += 1
+            return -1
+        self.bd_count = scan - idx
+        return scan - idx
+
+    def drain_hits(
+        self, order: List[Tuple[float, int, int]], idx: int, policied: bool
+    ) -> Tuple[int, int]:
+        """Retire the planned hit-stretch bucket (the only consumer of the
+        ``bd_*`` plan state), replaying the runner's per-event cursor
+        drain operation for operation — busy-set discard, walker free,
+        PTS release, set-MRU same-PFN fill elision — immediately before
+        the stretch's single MRU bump, which is exactly where the
+        per-event interleaving leaves every one of these fills relative
+        to the stretch page's final recency bump.  Returns the advanced
+        cursor and the released-walk count ``(idx, released)``.
+        """
+        count = self.bd_count
+        self.bd_count = 0
+        walk_of = self._walk_of
+        vpn_arr = self._vpn_arr
+        free_list = self._free_list
+        busy_by_asid = self._busy_by_asid
+        pts_by_vpn = self._pts_by_vpn
+        tlb_sets = self._tlb_sets
+        set_mask = self._tlb_set_mask
+        tlb_insert = self._tlb_insert
+        for _ in range(count):
+            walker = order[idx][2]
+            idx += 1
+            done_walk = walk_of[walker]
+            assert done_walk is not None  # plan_hits validated the bucket
+            vpn_arr[walker] = None
+            walk_of[walker] = None
+            if policied:
+                busy = busy_by_asid.get(done_walk.asid)
+                if busy is not None:
+                    busy.discard(walker)
+            free_list.append(walker)
+            dkey = done_walk.vpn | (done_walk.asid << ASID_SHIFT)
+            registered = pts_by_vpn[dkey]
+            registered.remove(walker)
+            if not registered:
+                del pts_by_vpn[dkey]
+            dset = tlb_sets[dkey & set_mask]
+            if not (
+                dset
+                and next(reversed(dset)) == dkey
+                and dset[dkey] == done_walk.pfn
+            ):
+                tlb_insert(done_walk.vpn, done_walk.pfn, done_walk.asid)
+        return idx, count

@@ -175,6 +175,46 @@ class SharePolicy:
         (None = unlimited)."""
         return self.quota(asid, slots)
 
+    # -- closed-form quota burn-down ------------------------------------ #
+
+    def burn_down(
+        self, asid: int, occupancy: int, demand: int, capacity: int
+    ) -> int:
+        """Admitted span: how many of ``demand`` consecutive same-resource
+        acquisitions this tenant can retire, starting from ``occupancy``
+        held units of a ``capacity``-unit structure, before its quota
+        binds.
+
+        This is the vectorized form of the per-event quota check: instead
+        of consulting :meth:`quota` once per transaction, the engine's
+        batched contended path asks for a whole stretch up front (TLB
+        occupancy caps, walker reservations, PRMB merge slots) and only
+        falls back to per-event stepping at the returned boundary.  The
+        answer is a pure function of the weight registry — memoized
+        through the :attr:`version`-validated quota cache, so repeated
+        burn-down queries inside one epoch cost two dict lookups.
+
+        Two deliberate scope limits, handled by the enforcement sites:
+
+        * The admitted span ignores *work-conserving borrowing* — it is
+          the span admitted against this tenant's own reservation alone.
+          A work-conserving policy's caller may extend it with a global
+          free-capacity check (exactly what the TLB fill path and the
+          walker steady-state loop do per event today).
+        * Another tenant's :meth:`next_event_for` horizon is a *time*
+          bound, not an occupancy bound; callers already clamp batched
+          stretches to the horizon before asking for a burn-down.
+
+        The trivial policy admits everything (no quotas to burn down).
+        """
+        quota = self.quota(asid, capacity)
+        if quota is None:
+            return demand
+        room = quota - occupancy
+        if room <= 0:
+            return 0
+        return demand if demand < room else room
+
     # -- event horizon -------------------------------------------------- #
 
     def next_event_for(self, asid: int, cycle: float) -> float:

@@ -53,6 +53,65 @@ def delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]
 
 
 @dataclass
+class BurnDownTelemetry:
+    """Process-wide quota-burn-down planner telemetry (``--profile``).
+
+    The quota-batched hit phase (``NEUMMU_QUOTA_BATCH``, see
+    :mod:`repro.core.calendar`) either retires a whole hit stretch in
+    closed form or falls back to per-event stepping; these counters say
+    which, and why, so perf ledgers can cite counts instead of cProfile
+    guesses.  Pure observability: nothing on a simulation path ever
+    *reads* these, so they cannot influence results, and they aggregate
+    across every engine in the process (worker processes keep their own —
+    ``--profile`` reports the parent's, like the profiler itself).
+    """
+
+    #: Hit stretches retired in closed form, and the transactions and
+    #: deferred walk completions they covered.
+    hit_segments: int = 0
+    hit_txns: int = 0
+    hit_drained: int = 0
+    #: Hit segments that fell back to per-event stepping, by plan-failure
+    #: reason: a TLB quota/capacity would bind mid-stretch, the burst or
+    #: arbitration turn ends before batching pays, a fault/invalid walk
+    #: sits in the window, or a shootdown poisoned an in-flight walker
+    #: (residency event).
+    fallback_segments: int = 0
+    fail_quota_bound: int = 0
+    fail_arbitration_turn: int = 0
+    fail_fault: int = 0
+    fail_residency: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of all counters."""
+        return {
+            "hit_segments": self.hit_segments,
+            "hit_txns": self.hit_txns,
+            "hit_drained": self.hit_drained,
+            "fallback_segments": self.fallback_segments,
+            "fail_quota_bound": self.fail_quota_bound,
+            "fail_arbitration_turn": self.fail_arbitration_turn,
+            "fail_fault": self.fail_fault,
+            "fail_residency": self.fail_residency,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        self.hit_segments = 0
+        self.hit_txns = 0
+        self.hit_drained = 0
+        self.fallback_segments = 0
+        self.fail_quota_bound = 0
+        self.fail_arbitration_turn = 0
+        self.fail_fault = 0
+        self.fail_residency = 0
+
+
+#: The process-wide aggregate every engine increments (see class docs).
+BURN_DOWN = BurnDownTelemetry()
+
+
+@dataclass
 class RunSummary:
     """Flattened view across MMU, walker pool, TLB and TPreg counters.
 
