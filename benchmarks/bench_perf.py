@@ -21,6 +21,13 @@ and writes ``benchmarks/results/BENCH_perf.json``:
   resident hit stretches, so walker completions come due *inside* the
   stretches and ``NEUMMU_QUOTA_BATCH`` retires them in closed form.
   Recorded from PR 9 onward.
+* ``quota_miss_phase`` — the mixed-window miss planner's target shape
+  isolated: two weighted tenants alternating saturated cold-page storms
+  (one transaction per fresh page, shot down between bursts so every
+  pass stays cold), so the issue port lives in the blocked
+  stall/retire/restart chain ``NEUMMU_MISS_BATCH`` retires as whole
+  windows (``plan_window``/``drain_window``).  Recorded from PR 10
+  onward.
 * ``demand_paging`` — one DLRM Figure 16 cell on the 8-walker IOMMU
   plus a 2-tenant paged contention run through the memory-tier
   subsystem (``repro.memory.tiering``): fault handling, migration-fabric
@@ -41,14 +48,29 @@ Run directly (``python -m benchmarks.bench_perf``) or via the weekly CI
 job, which passes ``--check``: every scenario's throughput ratio against
 the committed root ``BENCH_perf.json`` is normalized by the
 cross-scenario median (machine speed cancels out) and the job fails if
-any scenario sits more than 20% below the normalized expectation.
-Output goes to ``benchmarks/results/BENCH_perf.json``
+any scenario sits more than 20% below the normalized expectation
+(records of schema 1 and 2 both compare).  Output goes to
+``benchmarks/results/BENCH_perf.json``
 (gitignored, like every generated benchmark artifact) so local and CI
 runs never dirty the working tree; the copy committed at the repository
-root is PR 9's frozen record (columnar engine + completion calendar +
-quota burn-down planner), regenerated only when a PR intentionally
-moves the needle.  ``NEUMMU_PERF_OUT`` overrides the
+root is PR 10's frozen record (columnar engine + completion calendar +
+quota burn-down + mixed-window planners), regenerated only when a PR
+intentionally moves the needle.  ``NEUMMU_PERF_OUT`` overrides the
 output path.
+
+Paired A/B mode (``--paired VAR=a,b [--pairs N] [--only s1,s2]``): times
+each scenario under both values of one environment knob, *interleaved*
+back to back (A then B, order flipped every pair so ambient machine
+drift cancels instead of biasing one leg), and reports the per-scenario
+median throughput ratio b/a with its inter-quartile range.  This is the
+methodology behind the per-PR ledger claims: single unpaired runs on a
+shared box swing ±20% on ambient load alone, which is larger than most
+effects being measured.
+
+Records are schema 2 from PR 10 onward: each run carries its
+environment provenance (every ``NEUMMU_*`` flag, the effective job
+count, the CPU count) so a stored number can never be silently compared
+against a run under different knobs.
 """
 
 from __future__ import annotations
@@ -144,6 +166,39 @@ BASELINE = {
         "contended_sweep": {"wall_s": 2.576, "translations_per_sec": 343954},
         "quota_hit_phase": {"wall_s": 0.592, "translations_per_sec": 1032969},
         "demand_paging": {"wall_s": 1.334, "translations_per_sec": 138300},
+    },
+    # PR 10 (mixed-window miss-phase batching): pre_pr10 is the PR 10
+    # tree with NEUMMU_MISS_BATCH=0 (per-event miss path), post_pr10 the
+    # default mixed-window planner; one full back-to-back run per mode on
+    # the same shared box.  These single-shot rows drift with ambient
+    # load — the signal is the interleaved paired mode (``--paired
+    # NEUMMU_MISS_BATCH=0,1 --pairs 5``), whose medians are 0.99x on
+    # quota_miss_phase (IQR 0.96-0.99), 0.96x on qos_sweep (0.95-0.97)
+    # and 1.02x on contended_sweep (1.02-1.04): parity, short of the
+    # 1.5x/1.25x goals.  MISS_WINDOW telemetry explains it — on
+    # quota_miss_phase all 900 mixed-window attempts decline with
+    # fail_quota_bound at an average provable prefix of 3 transactions
+    # (under the 12-txn floor), and the 150 own-windows that do plan
+    # (~47% of the scenario's transactions) replace a per-event chain
+    # that already span-batches between completions.  See README
+    # "Performance" and ROADMAP open item 2.
+    "pre_pr10": {
+        "engine_fastpath": {"wall_s": 0.158, "translations_per_sec": 1663588},
+        "single_tenant": {"wall_s": 1.181, "translations_per_sec": 260637},
+        "qos_sweep": {"wall_s": 5.868, "translations_per_sec": 452899},
+        "contended_sweep": {"wall_s": 2.848, "translations_per_sec": 311047},
+        "quota_hit_phase": {"wall_s": 0.663, "translations_per_sec": 923025},
+        "quota_miss_phase": {"wall_s": 0.375, "translations_per_sec": 96114},
+        "demand_paging": {"wall_s": 1.459, "translations_per_sec": 126424},
+    },
+    "post_pr10": {
+        "engine_fastpath": {"wall_s": 0.149, "translations_per_sec": 1756894},
+        "single_tenant": {"wall_s": 1.043, "translations_per_sec": 295020},
+        "qos_sweep": {"wall_s": 6.208, "translations_per_sec": 428133},
+        "contended_sweep": {"wall_s": 3.240, "translations_per_sec": 273451},
+        "quota_hit_phase": {"wall_s": 0.728, "translations_per_sec": 840274},
+        "quota_miss_phase": {"wall_s": 0.457, "translations_per_sec": 78725},
+        "demand_paging": {"wall_s": 1.543, "translations_per_sec": 119569},
     },
 }
 
@@ -304,6 +359,72 @@ def quota_hit_phase():
     return time.perf_counter() - started, mmu.stats.requests
 
 
+def quota_miss_phase():
+    """The mixed-window miss planner's target, isolated.
+
+    Two weighted tenants on the 8-walker IOMMU alternate saturated
+    cold-page storms: one transaction per fresh page keeps the walker
+    pool full and the issue port fully blocked, so between interaction
+    points the engine lives in the FIFO stall/retire/restart chain that
+    ``NEUMMU_MISS_BATCH`` plans and retires as whole mixed windows
+    (``plan_window``/``drain_window``).  Each burst's pages are shot
+    down afterwards so every pass stays cold (sustained miss phase, no
+    hit stretches).  The quota policy makes every window a *policied*
+    window: the planner must prove it via the pointwise gate or the
+    closed-form quota trajectory, exactly the regime the PR 10 ledger
+    measures.  Recorded from PR 10 onward.
+    """
+    from dataclasses import replace
+
+    from repro.core.engine import TranslationEngine
+    from repro.core.mmu import MMU, baseline_iommu_config
+    from repro.memory.address import PAGE_SIZE_4K
+    from repro.memory.dram import MainMemory
+    from repro.memory.page_table import PageTable
+    from repro.npu.dma import ColumnarTransactionStream
+
+    base = 0x7F00_0000_0000
+    n_pages = 512
+    config = replace(
+        baseline_iommu_config(), engine_mode="columnar", qos="weighted"
+    )
+    mmu = MMU(config, None)
+    for asid, first_pfn, weight in ((0, 10, 2.0), (5, 500_000, 1.0)):
+        table = PageTable()
+        table.map_range(base, n_pages * PAGE_SIZE_4K, first_pfn=first_pfn)
+        mmu.register_context(asid, table, weight=weight)
+    engine = TranslationEngine(mmu, MainMemory())
+    started = time.perf_counter()
+    cycle = 0.0
+    span = 120
+    for rnd in range(150):
+        heads = []
+        for slot, asid in enumerate((0, 5)):
+            head = ((rnd * 2 + slot) * 97) % (n_pages - span)
+            heads.append((asid, head))
+            # Rotate the intra-page offset so consecutive fresh pages
+            # land on distinct DRAM channels (page-aligned 4 KiB strides
+            # alias to one channel and the queueing declines every plan).
+            pairs = [
+                (base + (head + k) * PAGE_SIZE_4K + (k % 16) * 256, 256)
+                for k in range(span)
+            ]
+            txs = ColumnarTransactionStream.from_pairs(pairs, PAGE_SIZE_4K)
+            # The second tenant's burst abuts the first (cycle + 7, the
+            # fuzz harness's spacing): the first tenant's residual
+            # in-flight walks sit at the head of the second's windows,
+            # making them *mixed* — the quota-trajectory regime this
+            # scenario exists to measure.
+            engine.run_burst(txs, cycle + slot * 7, asid)
+        mmu.drain()
+        for asid, head in heads:
+            for k in range(span):
+                mmu.shootdown(base // PAGE_SIZE_4K + head + k, asid)
+        cycle += 1e6
+    mmu.drain()
+    return time.perf_counter() - started, mmu.stats.requests
+
+
 def demand_paging():
     """Demand-paged translation: one Fig. 16 cell + a paged 2-tenant run."""
     from repro.core.mmu import baseline_iommu_config
@@ -341,8 +462,28 @@ SCENARIOS = (
     ("qos_sweep", qos_sweep),
     ("contended_sweep", contended_sweep),
     ("quota_hit_phase", quota_hit_phase),
+    ("quota_miss_phase", quota_miss_phase),
     ("demand_paging", demand_paging),
 )
+
+
+def environment_provenance() -> dict:
+    """The knobs a stored record was measured under (schema 2).
+
+    Every ``NEUMMU_*`` environment flag, the effective worker count the
+    sweeps shard across, and the CPU count — enough to refuse an
+    apples-to-oranges comparison when a record from a different
+    configuration sneaks into a ledger.
+    """
+    return {
+        "neummu_flags": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("NEUMMU_")
+        },
+        "jobs": int(os.environ.get("NEUMMU_JOBS", "1")),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def run_bench(out_path: Path | None = None) -> dict:
@@ -361,8 +502,9 @@ def run_bench(out_path: Path | None = None) -> dict:
             flush=True,
         )
     doc = {
-        "schema": 1,
+        "schema": 2,
         "generated_unix": int(time.time()),
+        "environment": environment_provenance(),
         "scenarios": scenarios,
         "baseline": BASELINE,
     }
@@ -398,6 +540,13 @@ def check_regressions(doc: dict, committed_path: Path) -> list:
         committed = json.loads(committed_path.read_text())
     except FileNotFoundError:
         return [f"no committed baseline at {committed_path}"]
+    schema = committed.get("schema")
+    if schema not in (1, 2):
+        # Schema 1 records predate environment provenance; schema 2
+        # carries it.  Either compares — the gate only reads scenario
+        # throughputs — but an unknown future schema must fail loudly
+        # rather than silently comparing incompatible records.
+        return [f"unsupported BENCH_perf schema {schema!r} in {committed_path}"]
     baseline = committed.get("scenarios", {})
     ratios = {}
     for name, current in doc["scenarios"].items():
@@ -431,8 +580,109 @@ def bench_perf(benchmark):
     benchmark.pedantic(run_bench, rounds=1, iterations=1)
 
 
+def _quartiles(values: list) -> tuple:
+    """(q1, median, q3) by linear interpolation (inclusive method)."""
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def at(q: float) -> float:
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    return at(0.25), at(0.5), at(0.75)
+
+
+def run_paired(var_spec: str, pairs: int = 3, only=None) -> dict:
+    """Interleaved paired A/B runs over one environment knob.
+
+    ``var_spec`` is ``VAR=a,b``.  Each pair times every selected
+    scenario under value ``a`` and value ``b`` back to back (the A/B
+    order flips every pair, so slow ambient drift hits both legs
+    equally instead of biasing whichever ran second), and the ratio
+    recorded is leg-b throughput over leg-a.  Reports — and returns —
+    the per-scenario median ratio with its inter-quartile range, the
+    numbers the per-PR perf ledger cites.
+    """
+    var, _, values = var_spec.partition("=")
+    if not var or "," not in values:
+        raise SystemExit(f"--paired expects VAR=a,b, got {var_spec!r}")
+    a_val, b_val = (v.strip() for v in values.split(",", 1))
+    names = [
+        (name, fn) for name, fn in SCENARIOS
+        if only is None or name in only
+    ]
+    if not names:
+        raise SystemExit(f"--only matched no scenarios out of {only!r}")
+    before = os.environ.get(var)
+    ratios: dict = {name: [] for name, _ in names}
+    try:
+        for k in range(pairs):
+            legs = (a_val, b_val) if k % 2 == 0 else (b_val, a_val)
+            for name, fn in names:
+                tps = {}
+                for val in legs:
+                    os.environ[var] = val
+                    wall, translations = fn()
+                    tps[val] = translations / wall
+                ratio = tps[b_val] / tps[a_val]
+                ratios[name].append(ratio)
+                print(
+                    f"pair {k + 1}/{pairs}  {name:16s} "
+                    f"{var}={a_val}: {tps[a_val]:>12,.0f}/s   "
+                    f"{var}={b_val}: {tps[b_val]:>12,.0f}/s   "
+                    f"ratio {ratio:.3f}",
+                    flush=True,
+                )
+    finally:
+        if before is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = before
+    summary = {}
+    print(
+        f"\npaired {var}={a_val} vs {b_val} over {pairs} interleaved "
+        f"pairs (ratio = {b_val}-leg throughput / {a_val}-leg):"
+    )
+    for name, _ in names:
+        q1, median, q3 = _quartiles(ratios[name])
+        summary[name] = {
+            "median_ratio": round(median, 3),
+            "iqr": [round(q1, 3), round(q3, 3)],
+            "ratios": [round(r, 3) for r in ratios[name]],
+        }
+        print(
+            f"  {name:16s} median {median:5.2f}x   "
+            f"IQR [{q1:.2f}, {q3:.2f}]"
+        )
+    return {
+        "schema": 2,
+        "paired": {"var": var, "a": a_val, "b": b_val, "pairs": pairs},
+        "environment": environment_provenance(),
+        "scenarios": summary,
+    }
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    paired = None
+    pairs = 3
+    only = None
+    it = iter(argv)
+    for arg in it:
+        if arg == "--paired":
+            paired = next(it, None)
+            if paired is None:
+                raise SystemExit("--paired requires VAR=a,b")
+        elif arg == "--pairs":
+            pairs = int(next(it, "3"))
+        elif arg == "--only":
+            only = set((next(it, "") or "").split(","))
+    if paired is not None:
+        run_paired(paired, pairs=pairs, only=only)
+        return 0
     doc = run_bench()
     if "--check" in argv:
         failures = check_regressions(doc, REPO_ROOT / "BENCH_perf.json")

@@ -74,8 +74,10 @@ from ..npu.simulator import (
 #: folds in the fast-path environment knobs (``NEUMMU_QUOTA_BATCH``,
 #: ``NEUMMU_CALENDAR``) — results are bit-identical either way, but the
 #: CI byte-identity smokes that *prove* that would otherwise be served
-#: one mode's cached cells while exercising the other.
-CACHE_SCHEMA = 3
+#: one mode's cached cells while exercising the other.  4: adds
+#: ``NEUMMU_MISS_BATCH`` (mixed-window miss planner) to the knob set for
+#: the same reason.
+CACHE_SCHEMA = 4
 
 
 def _engine_env_knobs() -> Dict[str, bool]:
@@ -90,6 +92,7 @@ def _engine_env_knobs() -> Dict[str, bool]:
     return {
         "quota_batch": os.environ.get("NEUMMU_QUOTA_BATCH", "1") != "0",
         "calendar": os.environ.get("NEUMMU_CALENDAR", "1") != "0",
+        "miss_batch": os.environ.get("NEUMMU_MISS_BATCH", "1") != "0",
     }
 
 

@@ -183,6 +183,15 @@ class TranslationEngine:
         #: engines are constructed per run, so tests may flip the knob
         #: between runs without touching live engines.
         self._quota_batch = os.environ.get("NEUMMU_QUOTA_BATCH", "1") != "0"
+        #: Mixed-window miss-phase batching (ROADMAP open item 2):
+        #: ``NEUMMU_MISS_BATCH=0`` pins the miss phase to the PR-8
+        #: stretch planner's pointwise quota gate (per-event fallback in
+        #: every regime the gate declines); ``1`` routes planning through
+        #: :meth:`CompletionCalendar.plan_window
+        #: <repro.core.calendar.CompletionCalendar.plan_window>`'s
+        #: closed-form quota-trajectory proofs.  Bit-identity either way;
+        #: read once per engine, like the quota-batch knob.
+        self._miss_batch = os.environ.get("NEUMMU_MISS_BATCH", "1") != "0"
 
     # ------------------------------------------------------------------ #
     # dispatch                                                           #
@@ -1462,6 +1471,7 @@ class TranslationEngine:
         calendar = CompletionCalendar(mmu, memory, asid, interval)
         use_calendar = os.environ.get("NEUMMU_CALENDAR", "1") != "0"
         quota_batch = self._quota_batch
+        miss_batch = self._miss_batch
 
         # Persistent completion snapshot: ``order[idx:]`` mirrors the heap
         # between calls (see the revalidation check below).
@@ -1557,6 +1567,8 @@ class TranslationEngine:
             cal_fails = 0  # consecutive declines this burst (backoff gate)
             bd_skip = 0  # burn-down plan-failure hysteresis, same shape
             bd_fails = 0  # consecutive burn-down declines (backoff gate)
+            win_skip = 0  # mixed-window plan-failure hysteresis, same shape
+            win_fails = 0  # consecutive window declines (backoff gate)
 
             while True:
                 if tkey in tlb_set:
@@ -2098,17 +2110,63 @@ class TranslationEngine:
                     # retire it as one bucket.  Integral accumulators are
                     # required so the bucket's telescoped stall sums are
                     # reassociation-free (see ``core/calendar.py``).
-                    if (
+                    can_plan = (
                         use_calendar
                         and my_walkers is None
                         and meta is not None
                         and vas_col is not None
-                        and horizon == inf
                         and not poisoned
-                        and i >= cal_skip
                         and cycle.is_integer()
                         and sc.is_integer()
                         and stall.is_integer()
+                    )
+                    if can_plan and miss_batch and i >= win_skip:
+                        # Mixed-window planner (``NEUMMU_MISS_BATCH``):
+                        # generalizes the stretch gate with a closed-form
+                        # quota trajectory (retires W > quota windows the
+                        # pointwise gate declines outright) and spans
+                        # finite policy horizons certified constant by
+                        # ``SharePolicy.rebalance_horizon``.
+                        planned = calendar.plan_window(
+                            order, idx, i, j, n, cycle, vpn, tkey, walk,
+                            run_streamable, meta, rc, vas_col, sizes_col,
+                            uniform_size, policied, my_quota,
+                            work_conserving, my_busy, others,
+                            policy, horizon,
+                        )
+                        if planned:
+                            (
+                                i, cycle, data_end, total_bytes, stall, sc,
+                                seq, vpn, tkey, j, run_streamable, rc, walk,
+                                levels, cal_m, cal_fresh_pages, cal_stalls,
+                                cal_fresh_stalls,
+                            ) = calendar.drain_window(
+                                order, idx, i, cycle, data_end, total_bytes,
+                                stall, sc, seq, prev_walk,
+                            )
+                            dur = levels * walk_latency
+                            tlb_set = tlb_sets[tkey & tlb_set_mask]
+                            my_walkers = pts_by_vpn.get(tkey)
+                            run_vpn = vpn
+                            run_end = j
+                            stalls_n += cal_stalls - cal_fresh_stalls
+                            walks_n += cal_m - cal_fresh_pages
+                            fresh_stall_n += cal_fresh_stalls
+                            fresh_walk_n += cal_fresh_pages
+                            levels_sum += cal_m * levels
+                            released_n += cal_m
+                            win_fails = 0
+                            break
+                        # Same hysteresis as the stretch planner below:
+                        # declines are pure overhead and bit-identical, so
+                        # a streak of them stops planning for the burst.
+                        win_fails += 1
+                        win_skip = n if win_fails >= 6 else j
+                    elif (
+                        can_plan
+                        and not miss_batch
+                        and horizon == inf
+                        and i >= cal_skip
                     ):
                         planned = calendar.plan_stretch(
                             order, idx, i, j, n, cycle, vpn, tkey, walk,
@@ -2712,6 +2770,10 @@ class TranslationEngine:
                     continue
 
                 if not prmb_capacity:
+                    # Delegates to the fused FIFO runner, so the mixed-
+                    # window miss planner (``NEUMMU_MISS_BATCH``) is
+                    # reached from both dispatch routes; the PRMB arm
+                    # below has no FIFO stall/retire chain to batch.
                     (
                         i, cycle, data_end, total_bytes, stall,
                         rc, run_vpn, run_end, run_streamable, handled,

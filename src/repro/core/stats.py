@@ -112,6 +112,76 @@ BURN_DOWN = BurnDownTelemetry()
 
 
 @dataclass
+class MissWindowTelemetry:
+    """Process-wide mixed-window miss-phase planner telemetry
+    (``--profile``).
+
+    The miss-batched window planner (``NEUMMU_MISS_BATCH``, see
+    :meth:`repro.core.calendar.CompletionCalendar.plan_window`) either
+    retires a whole mixed window — TLB fills from foreign in-flight
+    walks interleaved with our own stall/retire/restart chain — in
+    closed form, or falls back to per-event stepping; these counters say
+    which, and *quantitatively* why, so the perf ledger can explain its
+    measured ratios.  Same observability contract as
+    :class:`BurnDownTelemetry`: nothing on a simulation path reads
+    these, worker processes keep their own.
+    """
+
+    #: Windows retired in closed form, the transactions they covered,
+    #: and the foreign in-flight walks absorbed into them.
+    windows_planned: int = 0
+    window_txns: int = 0
+    window_foreign: int = 0
+    #: Windows planned under a quota-trajectory proof (the region the
+    #: stretch planner's pointwise gate declines outright).
+    window_quota_proofs: int = 0
+    #: Windows that fell back to per-event stepping, by reason: the
+    #: closed-form quota trajectory binds before the minimum profitable
+    #: stretch, the policy's admitted-segment coverage stops short of
+    #: the window (or changes quota inside it), or the delegated
+    #: arithmetic/channel/page-scan validation declined.
+    fallback_windows: int = 0
+    fail_quota_bound: int = 0
+    fail_rebalance: int = 0
+    fail_plan: int = 0
+    #: Sum of quota-feasible prefix lengths (in transactions) over the
+    #: ``fail_quota_bound`` declines — dividing by that count says how
+    #: far, on average, the trajectory ran before a tenant's reservation
+    #: bound it (the ledger's "why parity" number).
+    quota_prefix_txns: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of all counters."""
+        return {
+            "windows_planned": self.windows_planned,
+            "window_txns": self.window_txns,
+            "window_foreign": self.window_foreign,
+            "window_quota_proofs": self.window_quota_proofs,
+            "fallback_windows": self.fallback_windows,
+            "fail_quota_bound": self.fail_quota_bound,
+            "fail_rebalance": self.fail_rebalance,
+            "fail_plan": self.fail_plan,
+            "quota_prefix_txns": self.quota_prefix_txns,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        self.windows_planned = 0
+        self.window_txns = 0
+        self.window_foreign = 0
+        self.window_quota_proofs = 0
+        self.fallback_windows = 0
+        self.fail_quota_bound = 0
+        self.fail_rebalance = 0
+        self.fail_plan = 0
+        self.quota_prefix_txns = 0
+
+
+#: The process-wide aggregate every engine increments (see class docs).
+MISS_WINDOW = MissWindowTelemetry()
+
+
+@dataclass
 class RunSummary:
     """Flattened view across MMU, walker pool, TLB and TPreg counters.
 

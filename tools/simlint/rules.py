@@ -556,6 +556,39 @@ def check_cyc_burndown_admit(ctx: FileContext) -> Iterator[Triple]:
             )
 
 
+_WINDOW_WRITE_OK = ("plan_window", "drain_window", "reset", "_reset",
+                    "clear", "_clear")
+
+
+def check_cyc_window_retire(ctx: FileContext) -> Iterator[Triple]:
+    for node in ast.walk(ctx.tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            attr = target.attr
+            if not attr.startswith("win_"):
+                continue
+            func = ctx.enclosing_function(target)
+            fname = getattr(func, "name", "")
+            if fname in {"__init__", "__post_init__", "__setstate__"}:
+                continue
+            if fname.startswith(_WINDOW_WRITE_OK):
+                continue
+            yield (
+                node.lineno, node.col_offset,
+                f"raw write to mixed-window column {attr!r} outside the "
+                f"planner's plan/drain methods; a miss window is proved "
+                f"only by plan_window's quota trajectory and retired only "
+                f"by drain_window, so the window span stays bit-identical "
+                f"to the per-event stall/retire chain",
+            )
+
+
 # --------------------------------------------------------------------------
 # layer-import: the package DAG
 # --------------------------------------------------------------------------
@@ -716,6 +749,16 @@ RULES: Tuple[Rule, ...] = (
                   "without the planner's closed-form ledger, diverging from "
                   "the per-event burn_down accounting bit-for-bit contract",
         check=check_cyc_burndown_admit,
+    ),
+    Rule(
+        id="cyc-window-retire",
+        severity="error",
+        summary="mixed-window columns change only in plan/drain methods",
+        rationale="an out-of-band window write retires a miss window "
+                  "without plan_window's closed-form quota-trajectory "
+                  "proof, diverging from the per-event stall/retire chain "
+                  "bit-for-bit contract",
+        check=check_cyc_window_retire,
     ),
     Rule(
         id="layer-import",
